@@ -1,0 +1,120 @@
+//===- bench/fig2_probes.cpp - Fig. 2(a): probes during updates -*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 2(a): probes received over time while the Fig. 1
+/// network shifts H1->H3 traffic from the red to the green path, under
+/// three strategies:
+///
+///  - naive   : push A1 then C2, no synchronization (the §2 mistake);
+///  - two-phase: the consistent-update baseline of Reitblatt et al.;
+///  - ordering: the sequence synthesized by ORDERUPDATE.
+///
+/// The paper's testbed sends ICMP probes through Mininet/OpenFlow; here
+/// the operational-semantics simulator injects one probe per tick and we
+/// report the per-window delivery percentage. Expected shape: the naive
+/// line dips to 0% during the update window, the other two stay at 100%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ltl/Properties.h"
+#include "mc/LabelingChecker.h"
+#include "sim/Simulator.h"
+#include "synth/Baselines.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Fig1.h"
+
+using namespace netupd;
+using namespace netupd::benchutil;
+
+namespace {
+
+/// Runs one strategy and returns the delivery percentage per window.
+std::vector<double> runStrategy(const Fig1Network &N, const CommandSeq &Cmds,
+                                unsigned TotalTicks, unsigned Window) {
+  Simulator Sim(N.Topo, N.Red, SimParams{/*UpdateLatencyTicks=*/40});
+  Sim.enqueueCommands(Cmds);
+
+  std::vector<uint64_t> SentPerWindow(TotalTicks / Window, 0);
+  for (unsigned Tick = 0; Tick != TotalTicks; ++Tick) {
+    Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr, Tick);
+    ++SentPerWindow[Tick / Window];
+    Sim.step();
+  }
+  Sim.runToQuiescence();
+
+  std::vector<uint64_t> GotPerWindow(TotalTicks / Window, 0);
+  for (const Simulator::Delivery &D : Sim.deliveries()) {
+    if (D.To != N.H[2])
+      continue;
+    unsigned W = static_cast<unsigned>(D.PacketId) / Window;
+    if (W < GotPerWindow.size())
+      ++GotPerWindow[W];
+  }
+
+  std::vector<double> Out;
+  for (size_t W = 0; W != GotPerWindow.size(); ++W)
+    Out.push_back(100.0 * static_cast<double>(GotPerWindow[W]) /
+                  static_cast<double>(SentPerWindow[W]));
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  (void)parseScale(Argc, Argv);
+  banner("Figure 2(a): probes received during the red->green update");
+
+  Fig1Network N = buildFig1();
+
+  // Naive: A1 before C2 with no waits.
+  CommandSeq Naive;
+  Naive.push_back(Command::update(N.A[0], N.Green.table(N.A[0])));
+  Naive.push_back(Command::update(N.C2, N.Green.table(N.C2)));
+
+  // Two-phase consistent update.
+  TwoPhasePlan TwoPhase = makeTwoPhasePlan(N.Topo, N.Red, N.Green);
+
+  // Synthesized ordering update.
+  FormulaFactory FF;
+  Formula Phi = reachabilityProperty(FF, N.srcPort(), N.dstPort());
+  LabelingChecker Checker;
+  SynthResult Synth =
+      synthesizeUpdate(N.Topo, N.Red, N.Green, {N.FlowH1H3}, Phi, Checker);
+  if (!Synth.ok()) {
+    std::printf("synthesis failed; cannot reproduce the figure\n");
+    return 1;
+  }
+  std::printf("synthesized sequence: %s\n",
+              commandSeqToString(N.Topo, Synth.Commands).c_str());
+
+  const unsigned TotalTicks = 400, Window = 20;
+  std::vector<double> NaiveSeries = runStrategy(N, Naive, TotalTicks, Window);
+  std::vector<double> TwoPhaseSeries =
+      runStrategy(N, TwoPhase.fullSequence(), TotalTicks, Window);
+  std::vector<double> OrderSeries =
+      runStrategy(N, Synth.Commands, TotalTicks, Window);
+
+  row({"window", "naive%", "two-phase%", "ordering%"}, {10, 10, 12, 12});
+  double NaiveMin = 100.0, TwoPhaseMin = 100.0, OrderMin = 100.0;
+  for (size_t W = 0; W != NaiveSeries.size(); ++W) {
+    row({format("%zu", W), format("%.0f", NaiveSeries[W]),
+         format("%.0f", TwoPhaseSeries[W]), format("%.0f", OrderSeries[W])},
+        {10, 10, 12, 12});
+    NaiveMin = std::min(NaiveMin, NaiveSeries[W]);
+    TwoPhaseMin = std::min(TwoPhaseMin, TwoPhaseSeries[W]);
+    OrderMin = std::min(OrderMin, OrderSeries[W]);
+  }
+  std::printf("\nminimum window delivery: naive %.0f%%, two-phase %.0f%%, "
+              "ordering %.0f%%\n",
+              NaiveMin, TwoPhaseMin, OrderMin);
+  std::printf("paper shape: naive drops to 0%% during the transition; "
+              "two-phase and ordering stay at 100%%\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+//===- bench/fig7_backends.cpp - Fig. 7(a-c): checker backends -*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 7(a-c): end-to-end synthesis time with the
+/// Incremental checker versus the Batch checker and the symbolic
+/// (NuSMV-substitute) checker, on reachability diamonds over the three
+/// topology families — Zoo-like WANs, FatTrees, and Small-World graphs.
+///
+/// Expected shape: Incremental beats Batch by single-digit factors and
+/// the symbolic batch checker by orders of magnitude; the symbolic
+/// backend stops scaling first (the paper imposed a 10-minute timeout;
+/// here a state-count cap plays that role, printed as "skip").
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "bddmc/SymbolicChecker.h"
+#include "mc/LabelingChecker.h"
+#include "support/Timer.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace netupd;
+using namespace netupd::benchutil;
+
+namespace {
+
+struct Instance {
+  std::string Name;
+  Scenario S;
+  unsigned NumStates = 0;
+};
+
+/// Times one synthesis run; returns seconds, or a negative value on a
+/// non-success outcome.
+double timeBackend(const Instance &Inst, CheckerBackend &Checker) {
+  FormulaFactory FF;
+  Timer Clock;
+  SynthResult R = synthesizeUpdate(Inst.S, FF, Checker);
+  double Secs = Clock.seconds();
+  return R.ok() ? Secs : -1.0;
+}
+
+unsigned kripkeStates(const Scenario &S) {
+  KripkeStructure K(S.Topo, S.Initial, S.classes());
+  return K.numStates();
+}
+
+void runFamily(const std::string &Family,
+               const std::vector<std::pair<std::string, Topology>> &Topos,
+               unsigned SymbolicStateCap, Rng &R) {
+  std::printf("\n-- %s --\n", Family.c_str());
+  row({"topology", "switches", "states", "incr(s)", "batch(s)", "nusmv(s)",
+       "x batch", "x nusmv"},
+      {16, 10, 8, 10, 10, 10, 9, 9});
+
+  std::vector<double> BatchSpeedups, SymbolicSpeedups;
+  for (const auto &[Name, Topo] : Topos) {
+    Rng Fork = R.fork();
+    // Long-path diamonds: the update touches a sizable switch subset, as
+    // in the paper's large-diamond workloads.
+    DiamondOptions Opts;
+    Opts.LongPaths = true;
+    std::optional<Scenario> S =
+        makeDiamondScenario(Topo, Fork, PropertyKind::Reachability, Opts);
+    if (!S)
+      continue;
+    Instance Inst{Name, std::move(*S), 0};
+    Inst.NumStates = kripkeStates(Inst.S);
+
+    LabelingChecker Incr(LabelingChecker::Mode::Incremental);
+    LabelingChecker Batch(LabelingChecker::Mode::Batch);
+    double IncrSecs = timeBackend(Inst, Incr);
+    double BatchSecs = timeBackend(Inst, Batch);
+    double SymbolicSecs = -1.0;
+    bool Skipped = Inst.NumStates > SymbolicStateCap;
+    if (!Skipped) {
+      SymbolicChecker Symbolic;
+      SymbolicSecs = timeBackend(Inst, Symbolic);
+    }
+
+    auto Cell = [](double Secs) {
+      return Secs < 0 ? std::string("-") : format("%.4f", Secs);
+    };
+    double BatchX = (IncrSecs > 0 && BatchSecs > 0) ? BatchSecs / IncrSecs
+                                                    : 0.0;
+    double SymX = (IncrSecs > 0 && SymbolicSecs > 0)
+                      ? SymbolicSecs / IncrSecs
+                      : 0.0;
+    if (BatchX > 0)
+      BatchSpeedups.push_back(BatchX);
+    if (SymX > 0)
+      SymbolicSpeedups.push_back(SymX);
+    row({Inst.Name, format("%u", Inst.S.Topo.numSwitches()),
+         format("%u", Inst.NumStates), Cell(IncrSecs), Cell(BatchSecs),
+         Skipped ? "skip" : Cell(SymbolicSecs),
+         BatchX > 0 ? format("%.1fx", BatchX) : "-",
+         SymX > 0 ? format("%.0fx", SymX) : "-"},
+        {16, 10, 8, 10, 10, 10, 9, 9});
+  }
+  std::printf("geomean speedup vs Batch: %.2fx, vs NuSMV-substitute: "
+              "%.1fx\n",
+              geomean(BatchSpeedups), geomean(SymbolicSpeedups));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Figure 7(a-c): Incremental vs Batch vs NuSMV-substitute");
+
+  Rng R(0xf16'7abc);
+
+  // (a) Zoo-like WANs: a size-spanning subset of the 261-network suite.
+  std::vector<std::pair<std::string, Topology>> Zoo;
+  {
+    std::vector<std::pair<unsigned, unsigned>> SizeIdx; // (size, index)
+    for (unsigned I = 0; I != NumZooLike; ++I)
+      SizeIdx.emplace_back(zooLikeSize(I), I);
+    std::sort(SizeIdx.begin(), SizeIdx.end());
+    unsigned Count = std::max(4u, static_cast<unsigned>(10 * Scale));
+    for (unsigned K = 0; K != Count; ++K) {
+      unsigned Pos = K * (NumZooLike - 1) / std::max(1u, Count - 1);
+      auto [Size, Idx] = SizeIdx[Pos];
+      Zoo.emplace_back(format("zoo%u(n=%u)", Idx, Size),
+                       buildZooLike(Idx));
+    }
+  }
+  runFamily("Topology Zoo (zoo-like suite)", Zoo,
+            static_cast<unsigned>(600 * Scale), R);
+
+  // (b) FatTrees.
+  std::vector<std::pair<std::string, Topology>> Fat;
+  for (unsigned K : {4u, 6u, 8u}) {
+    unsigned Arity = static_cast<unsigned>(K * Scale);
+    Arity = std::max(4u, Arity - (Arity % 2));
+    Fat.emplace_back(format("fattree(k=%u)", Arity), buildFatTree(Arity));
+  }
+  runFamily("FatTree", Fat, static_cast<unsigned>(600 * Scale), R);
+
+  // (c) Small-World graphs.
+  std::vector<std::pair<std::string, Topology>> Sw;
+  for (unsigned N : {30u, 60u, 120u, 240u}) {
+    unsigned Size = static_cast<unsigned>(N * Scale);
+    Rng TopoRng(1000 + Size);
+    Sw.emplace_back(format("smallworld(n=%u)", Size),
+                    buildSmallWorld(Size, 4, 0.3, TopoRng));
+  }
+  runFamily("Small-World", Sw, static_cast<unsigned>(600 * Scale), R);
+
+  std::printf("\npaper shape: Incremental fastest everywhere; Batch within "
+              "~4-12x; the symbolic batch checker is orders of magnitude "
+              "slower and stops scaling first\n");
+  return 0;
+}

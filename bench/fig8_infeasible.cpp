@@ -1,0 +1,75 @@
+//===- bench/fig8_infeasible.cpp - Fig. 8(h) -------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 8(h): double-diamond instances (a second flow routed
+/// in the opposite direction with crossed branch assignments) admit no
+/// switch-granularity order; the tool must report "impossible". Timings
+/// show how quickly the search proves infeasibility — counterexample
+/// pruning plus SAT-based early termination do the heavy lifting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "mc/LabelingChecker.h"
+#include "support/Timer.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
+
+using namespace netupd;
+using namespace netupd::benchutil;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Figure 8(h): infeasible switch-granularity updates "
+         "(double diamonds)");
+
+  const char *KindName[] = {"reachability", "waypointing", "servicechain"};
+  row({"switches", "property", "updating", "verdict", "early-term",
+       "time(s)"},
+      {10, 14, 10, 12, 11, 10});
+
+  std::vector<unsigned> Sizes;
+  for (unsigned N : {50u, 100u, 200u, 400u}) {
+    unsigned Size = static_cast<unsigned>(N * Scale);
+    if (Size >= 16)
+      Sizes.push_back(Size);
+  }
+
+  for (unsigned Size : Sizes) {
+    for (PropertyKind Kind :
+         {PropertyKind::ServiceChain, PropertyKind::Waypoint,
+          PropertyKind::Reachability}) {
+      Rng R(4000 + Size);
+      Topology Topo = buildSmallWorld(Size, 4, 0.3, R);
+      DiamondOptions Opts;
+      Opts.LongPaths = true;
+      std::optional<Scenario> S =
+          makeDoubleDiamondScenario(Topo, R, Opts, Kind);
+      if (!S)
+        continue;
+
+      FormulaFactory FF;
+      LabelingChecker Checker;
+      Timer Clock;
+      SynthResult Res = synthesizeUpdate(*S, FF, Checker);
+      double Secs = Clock.seconds();
+      const char *Verdict =
+          Res.Status == SynthStatus::Impossible ? "impossible" : "UNEXPECTED";
+      row({format("%u", Size), KindName[static_cast<int>(Kind)],
+           format("%u", numUpdatingSwitches(*S)), Verdict,
+           Res.Stats.EarlyTerminated ? "yes" : "no",
+           format("%.3f", Secs)},
+          {10, 14, 10, 12, 11, 10});
+    }
+  }
+  std::printf("\npaper shape: every instance reported unsolvable at switch "
+              "granularity (maxima 153s / 33s / 0.7s per property)\n");
+  return 0;
+}

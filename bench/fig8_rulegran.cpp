@@ -1,0 +1,77 @@
+//===- bench/fig8_rulegran.cpp - Fig. 8(i) ---------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 8(i): the switch-impossible double diamonds of
+/// Fig. 8(h) become solvable at rule granularity, where a switch can move
+/// one traffic class at a time. Runtime is reported against the number of
+/// rules, the x-axis the paper uses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "mc/LabelingChecker.h"
+#include "support/Timer.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
+
+using namespace netupd;
+using namespace netupd::benchutil;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Figure 8(i): rule-granularity synthesis on switch-impossible "
+         "instances");
+
+  const char *KindName[] = {"reachability", "waypointing", "servicechain"};
+  row({"switches", "property", "rules", "verdict", "waits", "time(s)"},
+      {10, 14, 8, 10, 7, 10});
+
+  std::vector<unsigned> Sizes;
+  for (unsigned N : {50u, 100u, 200u, 400u}) {
+    unsigned Size = static_cast<unsigned>(N * Scale);
+    if (Size >= 16)
+      Sizes.push_back(Size);
+  }
+
+  for (unsigned Size : Sizes) {
+    for (PropertyKind Kind :
+         {PropertyKind::ServiceChain, PropertyKind::Waypoint,
+          PropertyKind::Reachability}) {
+      Rng R(4000 + Size); // Same instances as fig8_infeasible.
+      Topology Topo = buildSmallWorld(Size, 4, 0.3, R);
+      DiamondOptions Opts;
+      Opts.LongPaths = true;
+      std::optional<Scenario> S =
+          makeDoubleDiamondScenario(Topo, R, Opts, Kind);
+      if (!S)
+        continue;
+      size_t Rules = S->Initial.totalRules() + S->Final.totalRules();
+
+      FormulaFactory FF;
+      LabelingChecker Checker;
+      SynthOptions SOpts;
+      SOpts.RuleGranularity = true;
+      Timer Clock;
+      SynthResult Res = synthesizeUpdate(*S, FF, Checker, SOpts);
+      double Secs = Clock.seconds();
+      row({format("%u", Size), KindName[static_cast<int>(Kind)],
+           format("%zu", Rules),
+           Res.ok() ? "solved" : "UNEXPECTED",
+           format("%u/%u", Res.Stats.WaitsAfterRemoval,
+                  Res.Stats.WaitsBeforeRemoval),
+           format("%.3f", Secs)},
+          {10, 14, 8, 10, 7, 10});
+    }
+  }
+  std::printf("\npaper shape: all instances solved at rule granularity "
+              "(up to 1000 switches; maxima 776s / 513s / 82s), with ~2.6 "
+              "waits left after removal\n");
+  return 0;
+}

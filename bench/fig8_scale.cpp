@@ -1,0 +1,77 @@
+//===- bench/fig8_scale.cpp - Fig. 8(g): scalability -----------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 8(g): synthesis time of the Incremental backend on
+/// Small-World topologies of increasing size with *large* diamond updates
+/// (randomized-walk branches; the paper's largest instance updates 1015
+/// switches on a 1500-switch graph), for the three property families.
+///
+/// Expected shape: all three properties scale to 1000+ switches;
+/// service chaining is the most expensive, reachability the cheapest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "mc/LabelingChecker.h"
+#include "support/Timer.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
+
+using namespace netupd;
+using namespace netupd::benchutil;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Figure 8(g): Incremental-backend scalability on Small-World "
+         "diamonds");
+
+  const char *KindName[] = {"reachability", "waypointing", "servicechain"};
+  row({"switches", "property", "updating", "waits", "synth(s)",
+       "waitrm(s)"},
+      {10, 14, 10, 7, 10, 10});
+
+  std::vector<unsigned> Sizes;
+  for (unsigned N : {100u, 200u, 400u, 800u, 1500u}) {
+    unsigned Size = static_cast<unsigned>(N * Scale);
+    if (Size >= 20)
+      Sizes.push_back(Size);
+  }
+
+  for (unsigned Size : Sizes) {
+    for (PropertyKind Kind :
+         {PropertyKind::ServiceChain, PropertyKind::Waypoint,
+          PropertyKind::Reachability}) {
+      Rng R(3000 + Size);
+      Topology Topo = buildSmallWorld(Size, 4, 0.3, R);
+      DiamondOptions Opts;
+      Opts.LongPaths = true;
+      std::optional<Scenario> S = makeDiamondScenario(Topo, R, Kind, Opts);
+      if (!S)
+        continue;
+
+      FormulaFactory FF;
+      LabelingChecker Checker;
+      Timer Clock;
+      SynthResult Res = synthesizeUpdate(*S, FF, Checker);
+      double Secs = Clock.seconds();
+      row({format("%u", Size), KindName[static_cast<int>(Kind)],
+           format("%u", numUpdatingSwitches(*S)),
+           format("%u/%u", Res.Stats.WaitsAfterRemoval,
+                  Res.Stats.WaitsBeforeRemoval),
+           Res.ok() ? format("%.3f", Secs) : "fail",
+           format("%.3f", Res.Stats.WaitRemovalSeconds)},
+          {10, 14, 10, 7, 10, 10});
+    }
+  }
+  std::printf("\npaper shape: scales to 1000+ updating switches; maxima "
+              "129s / 30s / 0.9s for chain / waypoint / reachability, and "
+              "wait removal keeps ~2 waits (99.9%% removed)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- examples/infeasible_update.cpp - Granularity matters ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig. 8(h)/(i) story in miniature: two flows cross the same diamond
+/// in opposite directions, and the target configuration swaps their
+/// branches. At switch granularity every order strands one of the flows
+/// — the tool proves impossibility (SAT-based early termination, §4.2) —
+/// while at rule granularity, where a switch can move one traffic class
+/// at a time, a correct order exists and is found.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ltl/Properties.h"
+#include "mc/LabelingChecker.h"
+#include "support/Random.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
+
+#include <cstdio>
+
+using namespace netupd;
+
+int main() {
+  Rng R(2026);
+  Topology Base = buildSmallWorld(24, 4, 0.2, R);
+  std::optional<Scenario> S = makeDoubleDiamondScenario(Base, R);
+  if (!S) {
+    std::printf("could not carve a double diamond out of the topology\n");
+    return 1;
+  }
+
+  auto PathStr = [&](const std::vector<SwitchId> &P) {
+    std::string Out;
+    for (SwitchId Sw : P)
+      Out += (Out.empty() ? "" : "-") + S->Topo.switchName(Sw);
+    return Out;
+  };
+  std::printf("forward flow: %s  ->  %s\n",
+              PathStr(S->Flows[0].InitialPath).c_str(),
+              PathStr(S->Flows[0].FinalPath).c_str());
+  std::printf("reverse flow: %s  ->  %s\n",
+              PathStr(S->Flows[1].InitialPath).c_str(),
+              PathStr(S->Flows[1].FinalPath).c_str());
+  std::printf("%u switches differ between the configurations\n\n",
+              numUpdatingSwitches(*S));
+
+  FormulaFactory FF;
+
+  // Attempt 1: switch granularity. Provably impossible.
+  {
+    LabelingChecker Checker;
+    SynthResult Res = synthesizeUpdate(*S, FF, Checker);
+    std::printf("switch granularity: %s (early termination: %s, "
+                "%llu checker calls)\n",
+                Res.Status == SynthStatus::Impossible ? "IMPOSSIBLE"
+                                                      : "unexpected!",
+                Res.Stats.EarlyTerminated ? "yes" : "no",
+                static_cast<unsigned long long>(Res.Stats.CheckCalls));
+  }
+
+  // Attempt 2: rule granularity. Solvable.
+  {
+    LabelingChecker Checker;
+    SynthOptions Opts;
+    Opts.RuleGranularity = true;
+    SynthResult Res = synthesizeUpdate(*S, FF, Checker, Opts);
+    if (!Res.ok()) {
+      std::printf("rule granularity: unexpectedly failed\n");
+      return 1;
+    }
+    std::printf("rule granularity: SOLVED in %zu commands "
+                "(%u waits kept)\n",
+                Res.Commands.size(), Res.Stats.WaitsAfterRemoval);
+    std::printf("sequence: %s\n",
+                commandSeqToString(S->Topo, Res.Commands).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- examples/quickstart.cpp - First steps with netupd -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 60-second tour, on the paper's running example (§2, Fig. 1):
+/// build a small datacenter topology, route H1 -> H3 over the red path,
+/// ask for the green path while preserving reachability, and let
+/// ORDERUPDATE find an update order that never breaks connectivity.
+///
+/// Expected output: the synthesizer updates C2 *before* A1 (updating A1
+/// first would forward packets into a core switch with no rules).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ltl/Parser.h"
+#include "ltl/Properties.h"
+#include "mc/LabelingChecker.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Fig1.h"
+
+#include <cstdio>
+
+using namespace netupd;
+
+int main() {
+  // 1. The Figure 1 network with its red (initial) and green (final)
+  //    configurations comes ready-made.
+  Fig1Network Net = buildFig1();
+  std::printf("topology: %u switches, %u hosts, %u links\n",
+              Net.Topo.numSwitches(), Net.Topo.numHosts(),
+              Net.Topo.numLinks());
+
+  // 2. The invariant to preserve *throughout* the update, as an LTL
+  //    formula over packet traces: packets entering at H1's port must
+  //    eventually reach H3's port. The same formula can be built
+  //    programmatically with reachabilityProperty().
+  FormulaFactory FF;
+  std::string Text = "port=" + std::to_string(Net.srcPort()) +
+                     " -> F port=" + std::to_string(Net.dstPort());
+  ParseResult Parsed = parseLtl(FF, Text);
+  if (!Parsed.ok()) {
+    std::printf("property parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  std::printf("property: %s\n", printFormula(Parsed.F).c_str());
+
+  // 3. Synthesize. The incremental labeling checker (§5) is the default
+  //    and fastest backend.
+  LabelingChecker Checker;
+  SynthResult Result = synthesizeUpdate(
+      Net.Topo, Net.Red, Net.Green, {Net.FlowH1H3}, Parsed.F, Checker);
+
+  if (!Result.ok()) {
+    std::printf("no correct update order exists\n");
+    return 1;
+  }
+
+  // 4. The command sequence is ready for the controller: switch-table
+  //    updates, with a wait wherever in-flight packets matter.
+  std::printf("synthesized update: %s\n",
+              commandSeqToString(Net.Topo, Result.Commands).c_str());
+  std::printf("model-checker calls: %llu (incremental relabelings)\n",
+              static_cast<unsigned long long>(Result.Stats.CheckCalls));
+  std::printf("waits: %u kept of %u candidate positions\n",
+              Result.Stats.WaitsAfterRemoval,
+              Result.Stats.WaitsBeforeRemoval);
+  return 0;
+}

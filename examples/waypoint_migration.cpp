@@ -1,0 +1,82 @@
+//===- examples/waypoint_migration.cpp - Waits and waypoints ---*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §2 "In-flight Packets and Waits" scenario: shift H1 -> H3 traffic
+/// from the red path (T1-A1-C1-A3-T3) to the blue path (T1-A2-C1-A4-T3)
+/// while (a) preserving connectivity and (b) making sure every packet
+/// traverses A3 or A4 — think of those switches as scrubbing middleboxes.
+///
+/// No consistent (per-packet) update exists here, but an ordering update
+/// does — with one genuine wait: after T1 flips to A2, packets already
+/// forwarded through A1 are still heading for C1, so C1 must not flip to
+/// A4 until they drain. The paper's tool emits: upd A2, upd A4, upd T1,
+/// wait, upd C1. This example synthesizes the sequence, shows the wait
+/// survive the removal heuristic, and replays everything on the
+/// operational-semantics simulator to confirm zero violations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ltl/Properties.h"
+#include "ltl/TraceEval.h"
+#include "mc/LabelingChecker.h"
+#include "sim/Simulator.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Fig1.h"
+
+#include <cstdio>
+
+using namespace netupd;
+
+int main() {
+  Fig1Network Net = buildFig1();
+
+  // Connectivity plus "visit A3 or A4".
+  FormulaFactory FF;
+  Formula Phi = eitherWaypointProperty(FF, Net.srcPort(), Net.A[2],
+                                       Net.A[3], Net.dstPort());
+  std::printf("property: %s\n", printFormula(Phi).c_str());
+
+  LabelingChecker Checker;
+  SynthResult Result = synthesizeUpdate(Net.Topo, Net.Red, Net.Blue,
+                                        {Net.FlowH1H3}, Phi, Checker);
+  if (!Result.ok()) {
+    std::printf("no correct update order exists\n");
+    return 1;
+  }
+  std::printf("synthesized update: %s\n",
+              commandSeqToString(Net.Topo, Result.Commands).c_str());
+  std::printf("waits kept by the removal heuristic: %u of %u\n",
+              Result.Stats.WaitsAfterRemoval,
+              Result.Stats.WaitsBeforeRemoval);
+
+  // Replay on the simulator with a continuous probe stream and verify
+  // every delivered packet's trace against the property.
+  Simulator Sim(Net.Topo, Net.Red, SimParams{/*UpdateLatencyTicks=*/25});
+  Sim.enqueueCommands(Result.Commands);
+  const unsigned Probes = 300;
+  for (unsigned Tick = 0; Tick != Probes; ++Tick) {
+    Sim.injectPacket(Net.H[0], Net.FlowH1H3.Hdr, Tick);
+    Sim.step();
+  }
+  Sim.runToQuiescence();
+
+  unsigned Violations = 0;
+  for (unsigned P = 0; P != Probes; ++P) {
+    Trace T;
+    for (const Observation &Obs : Sim.packetTrace(P))
+      T.push_back(StateInfo{Obs.Sw, Obs.Pt, Obs.Hdr});
+    if (T.empty() || !evalOnTrace(Phi, T))
+      ++Violations;
+  }
+  std::printf("probes: %u sent, %zu delivered, %llu dropped, "
+              "%u property violations\n",
+              Probes, Sim.deliveries().size(),
+              static_cast<unsigned long long>(Sim.droppedCount()),
+              Violations);
+  return Violations == 0 && Sim.droppedCount() == 0 ? 0 : 1;
+}

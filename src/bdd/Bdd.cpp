@@ -1,0 +1,115 @@
+//===- bdd/Bdd.cpp - Reduced ordered binary decision diagrams --*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace netupd;
+using namespace netupd::bdd;
+
+Manager::Manager(unsigned NumVars) : NumVars(NumVars) {
+  // Slots 0 and 1 are the terminals; their fields are never read.
+  Nodes.push_back(Node{TerminalVar, False, False});
+  Nodes.push_back(Node{TerminalVar, True, True});
+}
+
+NodeRef Manager::mk(unsigned V, NodeRef Lo, NodeRef Hi) {
+  assert(V < NumVars && "variable out of range");
+  if (Lo == Hi)
+    return Lo; // Redundant test.
+  auto Key = std::make_tuple(V, Lo, Hi);
+  auto It = Unique.find(Key);
+  if (It != Unique.end())
+    return It->second;
+  Nodes.push_back(Node{V, Lo, Hi});
+  NodeRef Ref = static_cast<NodeRef>(Nodes.size()) - 1;
+  Unique.emplace(Key, Ref);
+  return Ref;
+}
+
+NodeRef Manager::cofactor(NodeRef F, unsigned V, bool Value) const {
+  if (F <= True || Nodes[F].Var != V)
+    return F;
+  return Value ? Nodes[F].Hi : Nodes[F].Lo;
+}
+
+NodeRef Manager::ite(NodeRef F, NodeRef G, NodeRef H) {
+  // Terminal shortcuts.
+  if (F == True)
+    return G;
+  if (F == False)
+    return H;
+  if (G == H)
+    return G;
+  if (G == True && H == False)
+    return F;
+
+  auto Key = std::make_tuple(F, G, H);
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+
+  unsigned V = std::min({varOf(F), varOf(G), varOf(H)});
+  NodeRef Lo = ite(cofactor(F, V, false), cofactor(G, V, false),
+                   cofactor(H, V, false));
+  NodeRef Hi =
+      ite(cofactor(F, V, true), cofactor(G, V, true), cofactor(H, V, true));
+  NodeRef Out = mk(V, Lo, Hi);
+  IteCache.emplace(Key, Out);
+  return Out;
+}
+
+NodeRef Manager::existsRec(NodeRef F, const std::vector<uint8_t> &VarSet,
+                           std::unordered_map<NodeRef, NodeRef> &Memo) {
+  if (F <= True)
+    return F;
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  // Copy the fields: orOp/mk below may reallocate Nodes.
+  Node Nd = Nodes[F];
+  NodeRef Lo = existsRec(Nd.Lo, VarSet, Memo);
+  NodeRef Hi = existsRec(Nd.Hi, VarSet, Memo);
+  NodeRef Out = VarSet[Nd.Var] ? orOp(Lo, Hi) : mk(Nd.Var, Lo, Hi);
+  Memo.emplace(F, Out);
+  return Out;
+}
+
+NodeRef Manager::exists(NodeRef F, const std::vector<uint8_t> &VarSet) {
+  assert(VarSet.size() >= NumVars && "quantifier set too small");
+  // Memoized per call: the quantified set varies between calls.
+  std::unordered_map<NodeRef, NodeRef> Memo;
+  return existsRec(F, VarSet, Memo);
+}
+
+bool Manager::eval(NodeRef F, const std::vector<uint8_t> &Assignment) const {
+  assert(Assignment.size() >= NumVars && "assignment too small");
+  while (F > True) {
+    const Node &Nd = Nodes[F];
+    F = Assignment[Nd.Var] ? Nd.Hi : Nd.Lo;
+  }
+  return F == True;
+}
+
+std::vector<uint8_t> Manager::pickAssignment(NodeRef F) const {
+  assert(F != False && "no satisfying assignment of false");
+  std::vector<uint8_t> Out(NumVars, 0);
+  while (F > True) {
+    const Node &Nd = Nodes[F];
+    // Prefer the low branch when it can still reach true.
+    if (Nd.Lo != False) {
+      Out[Nd.Var] = 0;
+      F = Nd.Lo;
+    } else {
+      Out[Nd.Var] = 1;
+      F = Nd.Hi;
+    }
+  }
+  return Out;
+}

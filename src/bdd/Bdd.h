@@ -1,0 +1,124 @@
+//===- bdd/Bdd.h - Reduced ordered binary decision diagrams ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact ROBDD package in the style of Brace/Rudell/Bryant: a unique
+/// table guarantees canonicity, ite() with a computed cache implements all
+/// binary connectives, and existential quantification supports the
+/// relational fixpoints of the symbolic model checker (src/bddmc), this
+/// repository's stand-in for the NuSMV backend of §6.
+///
+/// Node references are indices; 0 and 1 are the false/true terminals.
+/// Nodes are never garbage collected — the checker builds a manager per
+/// query, which keeps lifetimes trivial and matches the batch usage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_BDD_BDD_H
+#define NETUPD_BDD_BDD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace netupd {
+namespace bdd {
+
+/// A BDD node reference (0 = false, 1 = true).
+using NodeRef = uint32_t;
+
+inline constexpr NodeRef False = 0;
+inline constexpr NodeRef True = 1;
+
+/// The node manager; see file comment. Variable indices order the
+/// diagram: smaller index = closer to the root.
+class Manager {
+public:
+  explicit Manager(unsigned NumVars);
+
+  unsigned numVars() const { return NumVars; }
+
+  /// The positive literal of variable \p V.
+  NodeRef var(unsigned V) { return mk(V, False, True); }
+  /// The negative literal of variable \p V.
+  NodeRef nvar(unsigned V) { return mk(V, True, False); }
+
+  /// If-then-else: the universal connective.
+  NodeRef ite(NodeRef F, NodeRef G, NodeRef H);
+
+  NodeRef andOp(NodeRef F, NodeRef G) { return ite(F, G, False); }
+  NodeRef orOp(NodeRef F, NodeRef G) { return ite(F, True, G); }
+  NodeRef notOp(NodeRef F) { return ite(F, False, True); }
+  NodeRef xorOp(NodeRef F, NodeRef G) { return ite(F, notOp(G), G); }
+  NodeRef iffOp(NodeRef F, NodeRef G) { return ite(F, G, notOp(G)); }
+  NodeRef impliesOp(NodeRef F, NodeRef G) { return ite(F, G, True); }
+
+  /// Existentially quantifies every variable whose bit is set in
+  /// \p VarSet (indexed by variable).
+  NodeRef exists(NodeRef F, const std::vector<uint8_t> &VarSet);
+
+  /// Evaluates \p F under a full assignment (indexed by variable).
+  bool eval(NodeRef F, const std::vector<uint8_t> &Assignment) const;
+
+  /// Finds one satisfying assignment of \p F (false for don't-cares);
+  /// \p F must not be the false terminal.
+  std::vector<uint8_t> pickAssignment(NodeRef F) const;
+
+  /// Number of live nodes (terminals included); a size/health metric.
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    unsigned Var;
+    NodeRef Lo, Hi;
+  };
+
+  NodeRef mk(unsigned V, NodeRef Lo, NodeRef Hi);
+  NodeRef existsRec(NodeRef F, const std::vector<uint8_t> &VarSet,
+                    std::unordered_map<NodeRef, NodeRef> &Memo);
+  unsigned varOf(NodeRef F) const {
+    return F <= True ? TerminalVar : Nodes[F].Var;
+  }
+  NodeRef cofactor(NodeRef F, unsigned V, bool Value) const;
+
+  static constexpr unsigned TerminalVar = ~0u;
+
+  unsigned NumVars;
+  std::vector<Node> Nodes;
+
+  struct TripleHash {
+    size_t operator()(const std::tuple<unsigned, NodeRef, NodeRef> &T) const {
+      auto [V, L, H] = T;
+      uint64_t X = (uint64_t(V) << 40) ^ (uint64_t(L) << 20) ^ H;
+      X *= 0x9e3779b97f4a7c15ull;
+      return static_cast<size_t>(X ^ (X >> 29));
+    }
+  };
+  std::unordered_map<std::tuple<unsigned, NodeRef, NodeRef>, NodeRef,
+                     TripleHash>
+      Unique;
+
+  struct IteKeyHash {
+    size_t operator()(
+        const std::tuple<NodeRef, NodeRef, NodeRef> &T) const {
+      auto [F, G, H] = T;
+      uint64_t X = (uint64_t(F) << 42) ^ (uint64_t(G) << 21) ^ H;
+      X *= 0xbf58476d1ce4e5b9ull;
+      return static_cast<size_t>(X ^ (X >> 31));
+    }
+  };
+  std::unordered_map<std::tuple<NodeRef, NodeRef, NodeRef>, NodeRef,
+                     IteKeyHash>
+      IteCache;
+};
+
+} // namespace bdd
+} // namespace netupd
+
+#endif // NETUPD_BDD_BDD_H

@@ -1,0 +1,146 @@
+//===- hsa/HeaderSpace.h - Ternary header-space algebra --------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Header-space analysis primitives [Kazemian et al., NSDI'12] used by the
+/// NetPlumber-substitute backend: packet headers encoded as fixed-width
+/// bit vectors and rule matches as ternary (0/1/x) patterns, here packed
+/// into a (bits, mask) pair per 24-bit header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_HSA_HEADERSPACE_H
+#define NETUPD_HSA_HEADERSPACE_H
+
+#include "net/Packet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace netupd {
+
+/// Total bit width of the encoded header.
+inline constexpr unsigned HeaderWidth = NumFields * FieldBits;
+
+/// Packs a header into its bit-vector encoding (field values must fit in
+/// FieldBits bits).
+inline uint32_t encodeHeader(const Header &H) {
+  uint32_t Bits = 0;
+  for (unsigned I = 0; I != NumFields; ++I) {
+    assert(H.Values[I] < (1u << FieldBits) &&
+           "field value exceeds header-space field width");
+    Bits |= (H.Values[I] & ((1u << FieldBits) - 1)) << (I * FieldBits);
+  }
+  return Bits;
+}
+
+/// A ternary match: Mask bit 1 means the corresponding Bits bit is
+/// significant, 0 means wildcard.
+struct TernaryMatch {
+  uint32_t Bits = 0;
+  uint32_t Mask = 0;
+
+  /// The all-wildcard match.
+  static TernaryMatch wildcard() { return TernaryMatch(); }
+
+  /// The exact match of one concrete header.
+  static TernaryMatch ofHeader(const Header &H) {
+    TernaryMatch M;
+    M.Bits = encodeHeader(H);
+    M.Mask = (HeaderWidth == 32) ? ~0u : ((1u << HeaderWidth) - 1);
+    return M;
+  }
+
+  /// The ternary encoding of a rule pattern's header part (the in-port
+  /// constraint is handled separately by the plumbing graph).
+  static TernaryMatch ofPattern(const Pattern &P) {
+    TernaryMatch M;
+    for (unsigned I = 0; I != NumFields; ++I) {
+      if (!P.Values[I])
+        continue;
+      assert(*P.Values[I] < (1u << FieldBits) &&
+             "pattern value exceeds header-space field width");
+      uint32_t FieldMask = ((1u << FieldBits) - 1) << (I * FieldBits);
+      M.Mask |= FieldMask;
+      M.Bits |= (*P.Values[I] << (I * FieldBits)) & FieldMask;
+    }
+    return M;
+  }
+
+  /// True if the two ternary expressions share at least one header.
+  bool overlaps(const TernaryMatch &O) const {
+    return ((Bits ^ O.Bits) & Mask & O.Mask) == 0;
+  }
+
+  /// The intersection; std::nullopt when disjoint.
+  std::optional<TernaryMatch> intersect(const TernaryMatch &O) const {
+    if (!overlaps(O))
+      return std::nullopt;
+    TernaryMatch M;
+    M.Mask = Mask | O.Mask;
+    M.Bits = (Bits & Mask) | (O.Bits & O.Mask);
+    return M;
+  }
+
+  /// True if every header in \p Cube is matched by *this (i.e. *this is a
+  /// superset of Cube).
+  bool covers(const TernaryMatch &Cube) const {
+    // Every significant bit of *this must be significant and equal in
+    // Cube.
+    if ((Mask & ~Cube.Mask) != 0)
+      return false;
+    return ((Bits ^ Cube.Bits) & Mask) == 0;
+  }
+
+  /// True for a concrete (fully-specified) cube.
+  bool concrete() const {
+    uint32_t Full = (HeaderWidth == 32) ? ~0u : ((1u << HeaderWidth) - 1);
+    return (Mask & Full) == Full;
+  }
+
+  /// True if the concrete header \p H lies inside this match.
+  bool containsHeader(const Header &H) const {
+    return ((Bits ^ encodeHeader(H)) & Mask) == 0;
+  }
+
+  friend bool operator==(const TernaryMatch &A, const TernaryMatch &B) {
+    return A.Bits == B.Bits && A.Mask == B.Mask;
+  }
+};
+
+/// The difference A \ B as a disjoint union of cubes (at most one per
+/// significant bit of B) — the core HSA set operation, used to route the
+/// header space left over after each higher-priority rule.
+inline std::vector<TernaryMatch> subtractCube(const TernaryMatch &A,
+                                              const TernaryMatch &B) {
+  // Bits where both care but disagree: disjoint, nothing to subtract.
+  if (!A.overlaps(B))
+    return {A};
+  std::vector<TernaryMatch> Pieces;
+  TernaryMatch Cur = A;
+  uint32_t Full = (HeaderWidth == 32) ? ~0u : ((1u << HeaderWidth) - 1);
+  for (unsigned Bit = 0; Bit != HeaderWidth; ++Bit) {
+    uint32_t M = 1u << Bit;
+    if (!(B.Mask & M & Full) || (A.Mask & M))
+      continue; // B wildcards this bit, or A already pins it (and agrees).
+    // Split Cur on this bit: the half disagreeing with B is outside B.
+    TernaryMatch Out = Cur;
+    Out.Mask |= M;
+    Out.Bits = (Cur.Bits & ~M) | (~B.Bits & M);
+    Pieces.push_back(Out);
+    Cur.Mask |= M;
+    Cur.Bits = (Cur.Bits & ~M) | (B.Bits & M);
+  }
+  // Cur is now A intersect B and is dropped.
+  return Pieces;
+}
+
+} // namespace netupd
+
+#endif // NETUPD_HSA_HEADERSPACE_H

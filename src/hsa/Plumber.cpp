@@ -1,0 +1,278 @@
+//===- hsa/Plumber.cpp - Incremental plumbing-graph checker ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hsa/Plumber.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace netupd;
+
+namespace {
+
+/// Applies a rule's SetField actions to a cube as forwarded out
+/// \p OutPort (rewrites listed before the forward apply to it).
+TernaryMatch rewriteCube(const TernaryMatch &Cube,
+                         const std::vector<Action> &Actions,
+                         PortId OutPort) {
+  TernaryMatch Out = Cube;
+  for (const Action &A : Actions) {
+    if (A.K == Action::Kind::Forward) {
+      if (A.OutPort == OutPort)
+        return Out;
+      continue;
+    }
+    unsigned Shift = static_cast<unsigned>(A.F) * FieldBits;
+    uint32_t FieldMask = ((1u << FieldBits) - 1) << Shift;
+    Out.Bits = (Out.Bits & ~FieldMask) | ((A.Value << Shift) & FieldMask);
+    Out.Mask |= FieldMask;
+  }
+  return Out;
+}
+
+} // namespace
+
+Plumber::Plumber(const Topology &Topo, const Config &Cfg,
+                 std::vector<TrafficClass> Classes,
+                 std::vector<ProbeSpec> Probes)
+    : Topo(Topo), Classes(std::move(Classes)), Probes(std::move(Probes)) {
+  SwitchRules.resize(Topo.numSwitches());
+  for (SwitchId Sw = 0; Sw != Topo.numSwitches(); ++Sw)
+    updateSwitch(Sw, Cfg.table(Sw));
+
+  // Source nodes: the full header space enters at every ingress, exactly
+  // as NetPlumber injects wildcarded flows at its source nodes.
+  for (const Location &In : Topo.ingressLocations()) {
+    FlowNode Root;
+    Root.Sw = In.Switch;
+    Root.Pt = In.Port;
+    Root.Cube = TernaryMatch::wildcard();
+    Flows.push_back(Root);
+    Roots.push_back(static_cast<int>(Flows.size()) - 1);
+    expandFlow(Roots.back());
+  }
+}
+
+bool Plumber::onPath(int Idx, SwitchId Sw) const {
+  for (int Cur = Idx; Cur >= 0; Cur = Flows[static_cast<size_t>(Cur)].Parent)
+    if (!Flows[static_cast<size_t>(Cur)].Egress &&
+        Flows[static_cast<size_t>(Cur)].Sw == Sw)
+      return true;
+  return false;
+}
+
+void Plumber::forwardPiece(int Idx, const RuleNode &Rule,
+                           const TernaryMatch &Piece, PortId Out) {
+  const Location *Dst =
+      Topo.linkFrom(Flows[static_cast<size_t>(Idx)].Sw, Out);
+  if (!Dst)
+    return; // Unwired port: the piece vanishes (drop).
+  TernaryMatch Rewritten = rewriteCube(Piece, Rule.ActionList, Out);
+
+  FlowNode Child;
+  Child.Parent = Idx;
+  Child.Cube = Rewritten;
+  if (Dst->isHost()) {
+    Child.Sw = Flows[static_cast<size_t>(Idx)].Sw;
+    Child.Pt = Out;
+    Child.Egress = true;
+  } else {
+    if (onPath(Idx, Dst->Switch)) {
+      Flows[static_cast<size_t>(Idx)].Looped = true;
+      return;
+    }
+    Child.Sw = Dst->Switch;
+    Child.Pt = Dst->Port;
+  }
+
+  int ChildIdx;
+  if (!FreeFlowSlots.empty()) {
+    ChildIdx = FreeFlowSlots.back();
+    FreeFlowSlots.pop_back();
+    Flows[static_cast<size_t>(ChildIdx)] = Child;
+  } else {
+    Flows.push_back(Child);
+    ChildIdx = static_cast<int>(Flows.size()) - 1;
+  }
+  Flows[static_cast<size_t>(Idx)].Children.push_back(ChildIdx);
+  if (!Child.Egress)
+    expandFlow(ChildIdx);
+}
+
+void Plumber::expandFlow(int Idx) {
+  ++FlowOps;
+  if (Flows[static_cast<size_t>(Idx)].Egress)
+    return;
+  Flows[static_cast<size_t>(Idx)].Looped = false;
+
+  // Copy out what we need: expanding children may reallocate Flows.
+  SwitchId Sw = Flows[static_cast<size_t>(Idx)].Sw;
+  PortId Pt = Flows[static_cast<size_t>(Idx)].Pt;
+  TernaryMatch Cube = Flows[static_cast<size_t>(Idx)].Cube;
+
+  // Walk the rules in priority order, forwarding each intersected piece
+  // of the remaining space and keeping what is left; leftovers at the end
+  // are dropped at this node.
+  // SwitchRules is not touched by recursive expansion, so a reference is
+  // safe (only Flows reallocates).
+  std::vector<TernaryMatch> Remaining = {Cube};
+  const std::vector<RuleNode> &Rules = SwitchRules[Sw];
+  for (const RuleNode &R : Rules) {
+    if (Remaining.empty())
+      break;
+    if (R.InPort && *R.InPort != Pt)
+      continue;
+    std::vector<TernaryMatch> Next;
+    for (const TernaryMatch &Piece : Remaining) {
+      ++PipeOps;
+      std::optional<TernaryMatch> Hit = Piece.intersect(R.Match);
+      if (!Hit) {
+        Next.push_back(Piece);
+        continue;
+      }
+      for (PortId Out : R.OutPorts)
+        forwardPiece(Idx, R, *Hit, Out);
+      std::vector<TernaryMatch> Rest = subtractCube(Piece, R.Match);
+      Next.insert(Next.end(), Rest.begin(), Rest.end());
+    }
+    Remaining = std::move(Next);
+  }
+}
+
+void Plumber::pruneSubtree(int Idx) {
+  FlowNode &Node = Flows[static_cast<size_t>(Idx)];
+  std::vector<int> Children = std::move(Node.Children);
+  Node.Children.clear();
+  Node.Looped = false;
+  for (int Child : Children) {
+    pruneSubtree(Child);
+    Flows[static_cast<size_t>(Child)].Parent = -2; // Dead marker.
+    FreeFlowSlots.push_back(Child);
+  }
+}
+
+void Plumber::updateSwitch(SwitchId Sw, const Table &NewTable) {
+  // Rebuild the rule nodes of this switch.
+  std::vector<RuleNode> Rules;
+  for (const Rule &R : NewTable.rules()) {
+    RuleNode N;
+    N.Priority = R.Priority;
+    N.InPort = R.Pat.InPort;
+    N.Match = TernaryMatch::ofPattern(R.Pat);
+    N.ActionList = R.Actions;
+    for (const Action &A : R.Actions)
+      if (A.K == Action::Kind::Forward)
+        N.OutPorts.push_back(A.OutPort);
+    Rules.push_back(std::move(N));
+  }
+  std::stable_sort(Rules.begin(), Rules.end(),
+                   [](const RuleNode &A, const RuleNode &B) {
+                     return A.Priority > B.Priority;
+                   });
+  SwitchRules[Sw] = std::move(Rules);
+
+  // Pipe recomputation: each new rule's output ports are matched against
+  // the neighbouring switches' rules, as NetPlumber does when wiring rule
+  // nodes into the plumbing graph.
+  for (const RuleNode &R : SwitchRules[Sw]) {
+    for (PortId Out : R.OutPorts) {
+      const Location *Dst = Topo.linkFrom(Sw, Out);
+      if (!Dst || Dst->isHost())
+        continue;
+      for (const RuleNode &Peer : SwitchRules[Dst->Switch]) {
+        ++PipeOps;
+        (void)R.Match.overlaps(Peer.Match);
+      }
+    }
+  }
+
+  // Re-propagate every flow subtree rooted at this switch.
+  std::vector<int> Affected;
+  for (int Idx = 0; Idx != static_cast<int>(Flows.size()); ++Idx) {
+    const FlowNode &Node = Flows[static_cast<size_t>(Idx)];
+    if (Node.Parent != -2 && !Node.Egress && Node.Sw == Sw)
+      Affected.push_back(Idx);
+  }
+  for (int Idx : Affected) {
+    // A node pruned as the descendant of an earlier affected node is
+    // gone (cannot happen on loop-free paths, but stay defensive).
+    if (Flows[static_cast<size_t>(Idx)].Parent == -2)
+      continue;
+    pruneSubtree(Idx);
+    expandFlow(Idx);
+  }
+}
+
+void Plumber::followHeader(int Idx, const Header &Hdr,
+                           std::vector<int> &Path,
+                           std::vector<std::vector<int>> &Paths) const {
+  Path.push_back(Idx);
+  const FlowNode &Node = Flows[static_cast<size_t>(Idx)];
+  bool AnyChild = false;
+  for (int Child : Node.Children) {
+    if (!Flows[static_cast<size_t>(Child)].Cube.containsHeader(Hdr))
+      continue;
+    AnyChild = true;
+    followHeader(Child, Hdr, Path, Paths);
+  }
+  if (!AnyChild)
+    Paths.push_back(Path); // Delivered (egress) or dropped here.
+  Path.pop_back();
+}
+
+bool Plumber::probePasses(const ProbeSpec &Probe) {
+  const Header &Hdr = Classes[Probe.ClassIdx].Hdr;
+  for (int Root : Roots) {
+    const FlowNode &RootNode = Flows[static_cast<size_t>(Root)];
+    if (RootNode.Pt != Probe.SrcPort ||
+        !RootNode.Cube.containsHeader(Hdr))
+      continue;
+
+    std::vector<std::vector<int>> Paths;
+    std::vector<int> Scratch;
+    followHeader(Root, Hdr, Scratch, Paths);
+    for (const std::vector<int> &Path : Paths) {
+      const FlowNode &Leaf = Flows[static_cast<size_t>(Path.back())];
+      if (!Leaf.Egress || Leaf.Pt != Probe.DstPort)
+        return false; // Dropped, looped away, or misdelivered.
+
+      if (Probe.K == ProbeSpec::Kind::Reachability)
+        continue;
+
+      // Check waypoint visiting order along the switch path.
+      size_t Expected = 0;
+      for (int NodeIdx : Path) {
+        const FlowNode &Node = Flows[static_cast<size_t>(NodeIdx)];
+        if (Node.Egress)
+          continue;
+        for (size_t W = Expected; W != Probe.Waypoints.size(); ++W) {
+          if (Probe.Waypoints[W] != Node.Sw)
+            continue;
+          if (W != Expected)
+            return false; // Visited a later waypoint ahead of turn.
+          ++Expected;
+          break;
+        }
+      }
+      if (Expected != Probe.Waypoints.size())
+        return false; // Some waypoint was skipped.
+    }
+  }
+  return true;
+}
+
+bool Plumber::allProbesPass() {
+  // Any forwarding loop rejects the configuration outright, matching the
+  // tool's behaviour (§3.2).
+  for (const FlowNode &Node : Flows)
+    if (Node.Parent != -2 && Node.Looped)
+      return false;
+  for (const ProbeSpec &Probe : Probes)
+    if (!probePasses(Probe))
+      return false;
+  return true;
+}

@@ -1,0 +1,155 @@
+//===- ltl/Formula.cpp - LTL formulas in negation normal form --*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ltl/Formula.h"
+
+#include "support/Strings.h"
+
+#include <cassert>
+
+using namespace netupd;
+
+std::string Prop::str() const {
+  switch (K) {
+  case Kind::Switch:
+    return format("sw=%u", Value);
+  case Kind::Port:
+    return format("port=%u", Value);
+  case Kind::FieldEq:
+    return format("%s=%u", fieldName(F), Value);
+  }
+  return "?";
+}
+
+size_t FormulaFactory::KeyHash::operator()(const Key &K) const {
+  uint64_t H = static_cast<uint64_t>(K.K);
+  H = H * 1099511628211ull + static_cast<uint64_t>(K.P.K);
+  H = H * 1099511628211ull + static_cast<uint64_t>(K.P.F);
+  H = H * 1099511628211ull + K.P.Value;
+  H = H * 1099511628211ull + reinterpret_cast<uintptr_t>(K.L);
+  H = H * 1099511628211ull + reinterpret_cast<uintptr_t>(K.R);
+  return static_cast<size_t>(H);
+}
+
+FormulaFactory::FormulaFactory() {
+  TrueNode = intern(FKind::True, Prop(), nullptr, nullptr);
+  FalseNode = intern(FKind::False, Prop(), nullptr, nullptr);
+}
+
+Formula FormulaFactory::intern(FKind K, Prop P, Formula L, Formula R) {
+  Key Ky{K, P, L, R};
+  auto It = Interned.find(Ky);
+  if (It != Interned.end())
+    return It->second;
+  Nodes.push_back(
+      FormulaNode(K, P, L, R, static_cast<unsigned>(Nodes.size())));
+  Formula F = &Nodes.back();
+  Interned.emplace(Ky, F);
+  return F;
+}
+
+Formula FormulaFactory::conj(Formula A, Formula B) {
+  assert(A && B && "null operand");
+  if (A == TrueNode)
+    return B;
+  if (B == TrueNode)
+    return A;
+  if (A == FalseNode || B == FalseNode)
+    return FalseNode;
+  if (A == B)
+    return A;
+  return intern(FKind::And, Prop(), A, B);
+}
+
+Formula FormulaFactory::disj(Formula A, Formula B) {
+  assert(A && B && "null operand");
+  if (A == FalseNode)
+    return B;
+  if (B == FalseNode)
+    return A;
+  if (A == TrueNode || B == TrueNode)
+    return TrueNode;
+  if (A == B)
+    return A;
+  return intern(FKind::Or, Prop(), A, B);
+}
+
+Formula FormulaFactory::negate(Formula A) {
+  assert(A && "null operand");
+  switch (A->kind()) {
+  case FKind::True:
+    return FalseNode;
+  case FKind::False:
+    return TrueNode;
+  case FKind::Atom:
+    return notAtom(A->prop());
+  case FKind::NotAtom:
+    return atom(A->prop());
+  case FKind::And:
+    return disj(negate(A->lhs()), negate(A->rhs()));
+  case FKind::Or:
+    return conj(negate(A->lhs()), negate(A->rhs()));
+  case FKind::Next:
+    return next(negate(A->lhs()));
+  case FKind::Until:
+    return release(negate(A->lhs()), negate(A->rhs()));
+  case FKind::Release:
+    return until(negate(A->lhs()), negate(A->rhs()));
+  }
+  assert(false && "unknown formula kind");
+  return nullptr;
+}
+
+Formula FormulaFactory::conjAll(const std::vector<Formula> &Fs) {
+  Formula Out = top();
+  for (Formula F : Fs)
+    Out = conj(Out, F);
+  return Out;
+}
+
+Formula FormulaFactory::disjAll(const std::vector<Formula> &Fs) {
+  Formula Out = bottom();
+  for (Formula F : Fs)
+    Out = disj(Out, F);
+  return Out;
+}
+
+/// Prints with minimal parentheses: binary operators are always
+/// parenthesized, unary ones are not.
+std::string netupd::printFormula(Formula F) {
+  assert(F && "null formula");
+  switch (F->kind()) {
+  case FKind::True:
+    return "true";
+  case FKind::False:
+    return "false";
+  case FKind::Atom:
+    return F->prop().str();
+  case FKind::NotAtom:
+    return "!" + F->prop().str();
+  case FKind::And:
+    return "(" + printFormula(F->lhs()) + " & " + printFormula(F->rhs()) +
+           ")";
+  case FKind::Or:
+    return "(" + printFormula(F->lhs()) + " | " + printFormula(F->rhs()) +
+           ")";
+  case FKind::Next:
+    return "X " + printFormula(F->lhs());
+  case FKind::Until:
+    if (F->lhs()->kind() == FKind::True)
+      return "F " + printFormula(F->rhs());
+    return "(" + printFormula(F->lhs()) + " U " + printFormula(F->rhs()) +
+           ")";
+  case FKind::Release:
+    if (F->lhs()->kind() == FKind::False)
+      return "G " + printFormula(F->rhs());
+    return "(" + printFormula(F->lhs()) + " R " + printFormula(F->rhs()) +
+           ")";
+  }
+  assert(false && "unknown formula kind");
+  return "?";
+}

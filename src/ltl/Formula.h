@@ -1,0 +1,157 @@
+//===- ltl/Formula.h - LTL formulas in negation normal form ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed LTL formulas in negation normal form (§3.2): true, false,
+/// p, !p, and, or, X (next), U (until), R (release). F and G are sugar
+/// (F a = true U a, G a = false R a). Hash-consing gives pointer equality,
+/// which the closure machinery (ltl/Closure.h) relies on for dense formula
+/// indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_LTL_FORMULA_H
+#define NETUPD_LTL_FORMULA_H
+
+#include "ltl/Prop.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace netupd {
+
+/// Formula node kinds; Atom/NotAtom carry a Prop, binary kinds carry two
+/// children, Next carries one.
+enum class FKind : uint8_t {
+  True,
+  False,
+  Atom,
+  NotAtom,
+  And,
+  Or,
+  Next,
+  Until,
+  Release
+};
+
+class FormulaFactory;
+
+/// An immutable, interned formula node. Only FormulaFactory creates these;
+/// clients pass around `Formula` (a pointer) and compare by identity.
+class FormulaNode {
+public:
+  FKind kind() const { return K; }
+  const Prop &prop() const { return P; }
+  const FormulaNode *lhs() const { return L; }
+  const FormulaNode *rhs() const { return R; }
+
+  /// Dense id within the owning factory; stable for the factory's lifetime.
+  unsigned id() const { return Id; }
+
+  bool isBinary() const {
+    return K == FKind::And || K == FKind::Or || K == FKind::Until ||
+           K == FKind::Release;
+  }
+  bool isTemporal() const {
+    return K == FKind::Next || K == FKind::Until || K == FKind::Release;
+  }
+
+private:
+  friend class FormulaFactory;
+  FormulaNode(FKind K, Prop P, const FormulaNode *L, const FormulaNode *R,
+              unsigned Id)
+      : K(K), P(P), L(L), R(R), Id(Id) {}
+
+  FKind K;
+  Prop P;
+  const FormulaNode *L;
+  const FormulaNode *R;
+  unsigned Id;
+};
+
+/// A formula handle: an interned node pointer. Two formulas built in the
+/// same factory are semantically identical iff the pointers are equal.
+using Formula = const FormulaNode *;
+
+/// Creates and interns formulas. All formulas used together (in one
+/// closure, one checker) must come from the same factory.
+class FormulaFactory {
+public:
+  FormulaFactory();
+
+  Formula top() const { return TrueNode; }
+  Formula bottom() const { return FalseNode; }
+
+  Formula atom(Prop P) { return intern(FKind::Atom, P, nullptr, nullptr); }
+  Formula notAtom(Prop P) {
+    return intern(FKind::NotAtom, P, nullptr, nullptr);
+  }
+
+  /// Conjunction with constant folding (true&a=a, false&a=false, a&a=a).
+  Formula conj(Formula A, Formula B);
+  /// Disjunction with constant folding.
+  Formula disj(Formula A, Formula B);
+
+  Formula next(Formula A) { return intern(FKind::Next, Prop(), A, nullptr); }
+  Formula until(Formula A, Formula B) {
+    return intern(FKind::Until, Prop(), A, B);
+  }
+  Formula release(Formula A, Formula B) {
+    return intern(FKind::Release, Prop(), A, B);
+  }
+
+  /// F a = true U a.
+  Formula finally_(Formula A) { return until(top(), A); }
+  /// G a = false R a.
+  Formula globally(Formula A) { return release(bottom(), A); }
+
+  /// Negation, pushed to the atoms (the NNF dual).
+  Formula negate(Formula A);
+
+  /// A -> B, i.e. negate(A) | B.
+  Formula implies(Formula A, Formula B) { return disj(negate(A), B); }
+
+  /// Conjunction over a list; returns top() for an empty list.
+  Formula conjAll(const std::vector<Formula> &Fs);
+  /// Disjunction over a list; returns bottom() for an empty list.
+  Formula disjAll(const std::vector<Formula> &Fs);
+
+  /// Number of distinct nodes interned so far.
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+
+private:
+  Formula intern(FKind K, Prop P, Formula L, Formula R);
+
+  struct Key {
+    FKind K;
+    Prop P;
+    Formula L;
+    Formula R;
+    friend bool operator==(const Key &A, const Key &B) {
+      return A.K == B.K && A.P == B.P && A.L == B.L && A.R == B.R;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  std::deque<FormulaNode> Nodes;
+  std::unordered_map<Key, Formula, KeyHash> Interned;
+  Formula TrueNode;
+  Formula FalseNode;
+};
+
+/// Renders \p F in the concrete syntax accepted by parseLtl (ltl/Parser.h),
+/// recognizing the F/G sugar.
+std::string printFormula(Formula F);
+
+} // namespace netupd
+
+#endif // NETUPD_LTL_FORMULA_H

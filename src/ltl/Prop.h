@@ -1,0 +1,86 @@
+//===- ltl/Prop.h - Atomic propositions ------------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic propositions over Kripke states (§3.2): tests of the current
+/// switch id, the current (global) port id, or a packet header field of the
+/// state's traffic class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_LTL_PROP_H
+#define NETUPD_LTL_PROP_H
+
+#include "net/Packet.h"
+
+#include <cstdint>
+#include <string>
+
+namespace netupd {
+
+/// An atomic proposition "sw = n", "port = n", or "f = n".
+struct Prop {
+  enum class Kind : uint8_t { Switch, Port, FieldEq };
+
+  Kind K = Kind::Port;
+  Field F = Field::Src; // FieldEq only
+  uint32_t Value = 0;
+
+  static Prop onSwitch(SwitchId S) {
+    Prop P;
+    P.K = Kind::Switch;
+    P.Value = S;
+    return P;
+  }
+
+  static Prop onPort(PortId Pt) {
+    Prop P;
+    P.K = Kind::Port;
+    P.Value = Pt;
+    return P;
+  }
+
+  static Prop onField(Field F, uint32_t V) {
+    Prop P;
+    P.K = Kind::FieldEq;
+    P.F = F;
+    P.Value = V;
+    return P;
+  }
+
+  friend bool operator==(const Prop &A, const Prop &B) {
+    return A.K == B.K && A.F == B.F && A.Value == B.Value;
+  }
+
+  /// Renders as "port=3" / "sw=1" / "dst=2".
+  std::string str() const;
+};
+
+/// The observable part of a Kripke state (Def. 9): the switch, the global
+/// port, and the traffic class's representative header.
+struct StateInfo {
+  SwitchId Sw = 0;
+  PortId Pt = InvalidPort;
+  Header Hdr;
+};
+
+/// Evaluates proposition \p P at state \p S.
+inline bool evalProp(const Prop &P, const StateInfo &S) {
+  switch (P.K) {
+  case Prop::Kind::Switch:
+    return S.Sw == P.Value;
+  case Prop::Kind::Port:
+    return S.Pt == P.Value;
+  case Prop::Kind::FieldEq:
+    return S.Hdr.get(P.F) == P.Value;
+  }
+  return false;
+}
+
+} // namespace netupd
+
+#endif // NETUPD_LTL_PROP_H

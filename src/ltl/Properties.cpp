@@ -1,0 +1,72 @@
+//===- ltl/Properties.cpp - Property builders from §6 ----------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ltl/Properties.h"
+
+using namespace netupd;
+
+Formula netupd::classGuard(FormulaFactory &FF, const TrafficClass &Class) {
+  Formula Src =
+      FF.atom(Prop::onField(Field::Src, Class.Hdr.get(Field::Src)));
+  Formula Dst =
+      FF.atom(Prop::onField(Field::Dst, Class.Hdr.get(Field::Dst)));
+  return FF.conj(Src, Dst);
+}
+
+/// Combines the optional class guard with the "at source" atom.
+static Formula antecedent(FormulaFactory &FF, PortId Src, Formula Guard) {
+  Formula AtSrc = FF.atom(Prop::onPort(Src));
+  return Guard ? FF.conj(Guard, AtSrc) : AtSrc;
+}
+
+Formula netupd::reachabilityProperty(FormulaFactory &FF, PortId Src,
+                                     PortId Dst, Formula Guard) {
+  Formula AtDst = FF.atom(Prop::onPort(Dst));
+  return FF.implies(antecedent(FF, Src, Guard), FF.finally_(AtDst));
+}
+
+Formula netupd::waypointProperty(FormulaFactory &FF, PortId Src, Prop Way,
+                                 PortId Dst, Formula Guard) {
+  Formula AtWay = FF.atom(Way);
+  Formula AtDst = FF.atom(Prop::onPort(Dst));
+  Formula NotAtDst = FF.notAtom(Prop::onPort(Dst));
+  Formula Tail = FF.conj(AtWay, FF.finally_(AtDst));
+  return FF.implies(antecedent(FF, Src, Guard), FF.until(NotAtDst, Tail));
+}
+
+/// The recursive way(W, d) from §6.
+static Formula way(FormulaFactory &FF, const std::vector<Prop> &Waypoints,
+                   size_t From, PortId Dst) {
+  if (From == Waypoints.size())
+    return FF.finally_(FF.atom(Prop::onPort(Dst)));
+
+  // Guard: stay away from every later waypoint and the destination until
+  // the current waypoint is reached.
+  Formula Guard = FF.notAtom(Prop::onPort(Dst));
+  for (size_t I = From + 1; I < Waypoints.size(); ++I)
+    Guard = FF.conj(Guard, FF.notAtom(Waypoints[I]));
+
+  Formula Here = FF.atom(Waypoints[From]);
+  Formula Rest = way(FF, Waypoints, From + 1, Dst);
+  return FF.until(Guard, FF.conj(Here, Rest));
+}
+
+Formula netupd::serviceChainProperty(FormulaFactory &FF, PortId Src,
+                                     const std::vector<Prop> &Waypoints,
+                                     PortId Dst, Formula Guard) {
+  return FF.implies(antecedent(FF, Src, Guard),
+                    way(FF, Waypoints, 0, Dst));
+}
+
+Formula netupd::eitherWaypointProperty(FormulaFactory &FF, PortId Src,
+                                       SwitchId Way1, SwitchId Way2,
+                                       PortId Dst, Formula Guard) {
+  Formula SeeWay = FF.disj(FF.finally_(FF.atom(Prop::onSwitch(Way1))),
+                           FF.finally_(FF.atom(Prop::onSwitch(Way2))));
+  Formula Reach = FF.finally_(FF.atom(Prop::onPort(Dst)));
+  return FF.implies(antecedent(FF, Src, Guard), FF.conj(SeeWay, Reach));
+}

@@ -1,0 +1,69 @@
+//===- ltl/Properties.h - Property builders from §6 ------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the three property families the paper evaluates (§6):
+///
+///  - Reachability:     (port = s) -> F (port = d)
+///  - Waypointing:      (port = s) -> ((port != d) U (way & F (port = d)))
+///  - Service chaining: (port = s) -> way(W, d) with the recursive "way"
+///                      definition from the paper.
+///
+/// Source/destination atoms are global port ids of host attachment points.
+/// Waypoint atoms are arbitrary Props (usually "sw = n" so that a waypoint
+/// constrains the switch regardless of arrival port).
+///
+/// Each builder takes an optional traffic-class guard: when several flows
+/// share a network (multiple diamonds, §6), the guard "src = a & dst = b"
+/// scopes the property to the flow's own packets, exactly as the paper's
+/// AP language permits ("test the value of a switch, port, or packet
+/// field", §3.2). Pass nullptr for single-flow properties to get the
+/// paper's literal formulas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_LTL_PROPERTIES_H
+#define NETUPD_LTL_PROPERTIES_H
+
+#include "ltl/Formula.h"
+#include "net/Config.h"
+
+#include <vector>
+
+namespace netupd {
+
+/// "src = c.src & dst = c.dst": scopes a property to one traffic class.
+Formula classGuard(FormulaFactory &FF, const TrafficClass &Class);
+
+/// (Guard & port = Src) -> F (port = Dst). \p Guard may be null.
+Formula reachabilityProperty(FormulaFactory &FF, PortId Src, PortId Dst,
+                             Formula Guard = nullptr);
+
+/// (Guard & port = Src) ->
+///   ((port != Dst) U (Way & F (port = Dst))). \p Guard may be null.
+Formula waypointProperty(FormulaFactory &FF, PortId Src, Prop Way,
+                         PortId Dst, Formula Guard = nullptr);
+
+/// (Guard & port = Src) -> way(Waypoints, Dst), where
+///   way([], d)      = F (port = d)
+///   way(w :: W, d)  = ((AND_{w_k in W} !w_k) & port != d)
+///                       U (w & way(W, d)).
+/// Waypoints must be visited in order; none may be visited ahead of turn.
+Formula serviceChainProperty(FormulaFactory &FF, PortId Src,
+                             const std::vector<Prop> &Waypoints, PortId Dst,
+                             Formula Guard = nullptr);
+
+/// "Visit Way1 or Way2" disjunctive waypointing used by the §2
+/// red-to-blue example (every packet must traverse A3 or A4):
+/// (Guard & port = Src) -> (F sw=Way1 | F sw=Way2) & F (port = Dst).
+Formula eitherWaypointProperty(FormulaFactory &FF, PortId Src, SwitchId Way1,
+                               SwitchId Way2, PortId Dst,
+                               Formula Guard = nullptr);
+
+} // namespace netupd
+
+#endif // NETUPD_LTL_PROPERTIES_H

@@ -1,0 +1,62 @@
+//===- ltl/TraceEval.cpp - Reference LTL trace evaluator -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ltl/TraceEval.h"
+
+#include <cassert>
+
+using namespace netupd;
+
+bool netupd::evalOnTrace(Formula F, const Trace &T, size_t Pos) {
+  assert(!T.empty() && "trace must be non-empty");
+  assert(F && "null formula");
+  size_t Last = T.size() - 1;
+  if (Pos > Last)
+    Pos = Last;
+
+  switch (F->kind()) {
+  case FKind::True:
+    return true;
+  case FKind::False:
+    return false;
+  case FKind::Atom:
+    return evalProp(F->prop(), T[Pos]);
+  case FKind::NotAtom:
+    return !evalProp(F->prop(), T[Pos]);
+  case FKind::And:
+    return evalOnTrace(F->lhs(), T, Pos) && evalOnTrace(F->rhs(), T, Pos);
+  case FKind::Or:
+    return evalOnTrace(F->lhs(), T, Pos) || evalOnTrace(F->rhs(), T, Pos);
+  case FKind::Next:
+    return evalOnTrace(F->lhs(), T, Pos + 1);
+  case FKind::Until:
+    // a U b: some position i >= Pos satisfies b, with a holding on
+    // [Pos, i). Past the end the trace is constant, so scanning up to the
+    // last position decides the formula.
+    for (size_t I = Pos; I <= Last; ++I) {
+      if (evalOnTrace(F->rhs(), T, I))
+        return true;
+      if (!evalOnTrace(F->lhs(), T, I))
+        return false;
+    }
+    // Constant suffix with b false everywhere and a true: never satisfied.
+    return false;
+  case FKind::Release:
+    // a R b: b holds up to and including the first position where a holds
+    // (if any). On the constant suffix, b holding at the last position
+    // means it holds forever.
+    for (size_t I = Pos; I <= Last; ++I) {
+      if (!evalOnTrace(F->rhs(), T, I))
+        return false;
+      if (evalOnTrace(F->lhs(), T, I))
+        return true;
+    }
+    return true;
+  }
+  assert(false && "unknown formula kind");
+  return false;
+}

@@ -1,0 +1,34 @@
+//===- ltl/TraceEval.h - Reference LTL trace evaluator ---------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct, definition-following evaluator of LTL formulas on finite
+/// traces viewed as infinite traces whose last state repeats forever
+/// (§3.2). It is deliberately independent of the closure machinery so the
+/// property tests can cross-check the labeling model checker against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_LTL_TRACEEVAL_H
+#define NETUPD_LTL_TRACEEVAL_H
+
+#include "ltl/Formula.h"
+
+#include <vector>
+
+namespace netupd {
+
+/// A finite single-packet trace: the per-hop observable state.
+using Trace = std::vector<StateInfo>;
+
+/// Evaluates \p F on \p T at position \p Pos, treating T as the infinite
+/// trace T[0..n-1], T[n-1], T[n-1], ... . \p T must be non-empty.
+bool evalOnTrace(Formula F, const Trace &T, size_t Pos = 0);
+
+} // namespace netupd
+
+#endif // NETUPD_LTL_TRACEEVAL_H

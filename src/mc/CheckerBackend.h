@@ -1,0 +1,89 @@
+//===- mc/CheckerBackend.h - Model-checker abstraction ---------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker-backend interface the synthesizer drives (§6 lists four
+/// backends: Incremental, Batch, NuSMV, NetPlumber; this repo provides
+/// Incremental, Batch, a BDD-based NuSMV substitute, and a header-space
+/// NetPlumber substitute).
+///
+/// The synthesis DFS explores configurations by mutating one
+/// KripkeStructure in place and rolling it back on backtrack, so the
+/// interface is stack-shaped: every recheckAfterUpdate is eventually
+/// matched by either a notifyRollback (backtrack) or nothing (the search
+/// committed to the update and continued deeper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_MC_CHECKERBACKEND_H
+#define NETUPD_MC_CHECKERBACKEND_H
+
+#include "kripke/Kripke.h"
+#include "ltl/Formula.h"
+
+#include <vector>
+
+namespace netupd {
+
+/// Outcome of one model-checking call.
+struct CheckResult {
+  /// True if every trace from every initial state satisfies the property.
+  bool Holds = false;
+
+  /// A violating trace (initial state to sink) when !Holds and the backend
+  /// produces counterexamples; empty otherwise. NetPlumber-style backends
+  /// leave this empty (§6 notes NetPlumber reports no counterexamples).
+  std::vector<StateId> Cex;
+};
+
+/// Everything a backend may want to know about one applied update.
+struct UpdateInfo {
+  SwitchId Sw = 0;
+  /// Table before / after the update (valid only during the call).
+  const Table *OldTable = nullptr;
+  const Table *NewTable = nullptr;
+  /// States whose outgoing Kripke edges changed.
+  const std::vector<StateId> *ChangedStates = nullptr;
+};
+
+/// Abstract model-checker backend. Bound to one structure and property at
+/// a time.
+class CheckerBackend {
+public:
+  virtual ~CheckerBackend();
+
+  /// Binds to \p K and \p Phi and performs the initial full check
+  /// (Fig. 4 line 7).
+  virtual CheckResult bind(KripkeStructure &K, Formula Phi) = 0;
+
+  /// Rechecks after the bound structure was mutated by one switch/rule
+  /// update (Fig. 4 line 10). Backends that cannot exploit incrementality
+  /// simply run a full check.
+  virtual CheckResult recheckAfterUpdate(const UpdateInfo &Update) = 0;
+
+  /// Notifies that the structure was rolled back to exactly the state
+  /// before the matching recheckAfterUpdate (LIFO discipline).
+  virtual void notifyRollback() = 0;
+
+  /// True if CheckResult::Cex is populated on failure; the synthesizer
+  /// only learns from counterexamples when this holds.
+  virtual bool providesCounterexamples() const { return true; }
+
+  /// Human-readable backend name for benchmark tables.
+  virtual const char *name() const = 0;
+
+  /// Number of model-checking calls served so far (for the §6
+  /// micro-comparison of checkers on identical query streams).
+  unsigned numQueries() const { return Queries; }
+
+protected:
+  unsigned Queries = 0;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_MC_CHECKERBACKEND_H

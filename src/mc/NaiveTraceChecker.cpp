@@ -1,0 +1,54 @@
+//===- mc/NaiveTraceChecker.cpp - Reference checker for tests --*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/NaiveTraceChecker.h"
+
+#include "ltl/TraceEval.h"
+
+#include <cassert>
+
+using namespace netupd;
+
+CheckResult NaiveTraceChecker::bind(KripkeStructure &Structure,
+                                    Formula Property) {
+  K = &Structure;
+  Phi = Property;
+  return checkNow();
+}
+
+CheckResult NaiveTraceChecker::recheckAfterUpdate(const UpdateInfo &) {
+  return checkNow();
+}
+
+CheckResult NaiveTraceChecker::checkNow() {
+  ++Queries;
+  if (auto Loop = K->findForwardingLoop()) {
+    CheckResult R;
+    R.Holds = false;
+    R.Cex = std::move(*Loop);
+    return R;
+  }
+
+  std::vector<std::vector<StateId>> Traces = K->enumerateTraces(MaxTraces);
+  assert(Traces.size() < MaxTraces && "trace enumeration bound exceeded");
+
+  for (const std::vector<StateId> &States : Traces) {
+    Trace T;
+    T.reserve(States.size());
+    for (StateId S : States)
+      T.push_back(K->stateInfo(S));
+    if (evalOnTrace(Phi, T))
+      continue;
+    CheckResult R;
+    R.Holds = false;
+    R.Cex = States;
+    return R;
+  }
+  CheckResult R;
+  R.Holds = true;
+  return R;
+}

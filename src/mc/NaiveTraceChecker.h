@@ -1,0 +1,46 @@
+//===- mc/NaiveTraceChecker.h - Reference checker for tests ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A brute-force model checker: enumerate every complete trace of the
+/// Kripke structure and evaluate the formula with the reference trace
+/// evaluator (ltl/TraceEval.h). Exponential, test-only; the property tests
+/// cross-check the labeling checker against it on small random structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_MC_NAIVETRACECHECKER_H
+#define NETUPD_MC_NAIVETRACECHECKER_H
+
+#include "mc/CheckerBackend.h"
+
+namespace netupd {
+
+/// Brute-force checker; see file comment.
+class NaiveTraceChecker : public CheckerBackend {
+public:
+  /// \p MaxTraces bounds enumeration; exceeding it asserts (tests must
+  /// keep structures small enough to enumerate exactly).
+  explicit NaiveTraceChecker(size_t MaxTraces = 1u << 20)
+      : MaxTraces(MaxTraces) {}
+
+  CheckResult bind(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
+  void notifyRollback() override {}
+  const char *name() const override { return "NaiveTrace"; }
+
+private:
+  CheckResult checkNow();
+
+  KripkeStructure *K = nullptr;
+  Formula Phi = nullptr;
+  size_t MaxTraces;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_MC_NAIVETRACECHECKER_H

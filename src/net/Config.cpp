@@ -1,0 +1,79 @@
+//===- net/Config.cpp - Network configurations -----------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Config.h"
+
+using namespace netupd;
+
+size_t Config::totalRules() const {
+  size_t N = 0;
+  for (const Table &T : Tables)
+    N += T.size();
+  return N;
+}
+
+std::vector<SwitchId> netupd::diffSwitches(const Config &From,
+                                           const Config &To) {
+  assert(From.numSwitches() == To.numSwitches() &&
+         "configurations over different topologies");
+  std::vector<SwitchId> Diff;
+  for (SwitchId S = 0; S != From.numSwitches(); ++S)
+    if (From.table(S) != To.table(S))
+      Diff.push_back(S);
+  return Diff;
+}
+
+/// Finds the port of \p From whose outgoing link reaches switch \p To.
+static PortId portTowardSwitch(const Topology &Topo, SwitchId From,
+                               SwitchId To) {
+  for (PortId P : Topo.switchPorts(From)) {
+    const Location *Dst = Topo.linkFrom(From, P);
+    if (Dst && !Dst->isHost() && Dst->Switch == To)
+      return P;
+  }
+  return InvalidPort;
+}
+
+/// Finds the port of \p From whose outgoing link reaches host \p H.
+static PortId portTowardHost(const Topology &Topo, SwitchId From, HostId H) {
+  for (PortId P : Topo.switchPorts(From)) {
+    const Location *Dst = Topo.linkFrom(From, P);
+    if (Dst && Dst->isHost() && Dst->Host == H)
+      return P;
+  }
+  return InvalidPort;
+}
+
+void netupd::installPath(const Topology &Topo, Config &Cfg,
+                         const TrafficClass &Class,
+                         const std::vector<SwitchId> &Path, HostId DstHost,
+                         uint32_t Priority) {
+  assert(!Path.empty() && "cannot install an empty path");
+  for (size_t I = 0, E = Path.size(); I != E; ++I) {
+    PortId Out = (I + 1 == E) ? portTowardHost(Topo, Path[I], DstHost)
+                              : portTowardSwitch(Topo, Path[I], Path[I + 1]);
+    assert(Out != InvalidPort && "path does not follow topology links");
+
+    // Match on the class's destination field so unrelated classes keep
+    // their own rules; one rule per (class, switch).
+    Rule R;
+    R.Priority = Priority;
+    R.Pat = Pattern::onField(Field::Dst, Class.Hdr.get(Field::Dst));
+    R.Pat.Values[static_cast<size_t>(Field::Src)] =
+        Class.Hdr.get(Field::Src);
+    R.Actions.push_back(Action::forward(Out));
+
+    // Replace any existing rule for this class at the same priority level.
+    Table &T = Cfg.table(Path[I]);
+    std::vector<Rule> Kept;
+    for (const Rule &Old : T.rules())
+      if (!(Old.Pat == R.Pat && Old.Priority == Priority))
+        Kept.push_back(Old);
+    Kept.push_back(R);
+    Cfg.setTable(Path[I], Table(std::move(Kept)));
+  }
+}

@@ -1,0 +1,63 @@
+//===- net/Packet.cpp - Packet headers and patterns ------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Packet.h"
+
+#include "support/Strings.h"
+
+using namespace netupd;
+
+const char *netupd::fieldName(Field F) {
+  switch (F) {
+  case Field::Src:
+    return "src";
+  case Field::Dst:
+    return "dst";
+  case Field::Typ:
+    return "typ";
+  }
+  return "?";
+}
+
+std::optional<Field> netupd::fieldFromName(const std::string &Name) {
+  if (Name == "src")
+    return Field::Src;
+  if (Name == "dst")
+    return Field::Dst;
+  if (Name == "typ")
+    return Field::Typ;
+  return std::nullopt;
+}
+
+std::string Header::str() const {
+  std::vector<std::string> Parts;
+  for (unsigned I = 0; I != NumFields; ++I)
+    Parts.push_back(format("%s=%u", fieldName(static_cast<Field>(I)),
+                           Values[I]));
+  return "{" + join(Parts, ", ") + "}";
+}
+
+Header netupd::makeHeader(uint32_t Src, uint32_t Dst, uint32_t Typ) {
+  Header H;
+  H.set(Field::Src, Src);
+  H.set(Field::Dst, Dst);
+  H.set(Field::Typ, Typ);
+  return H;
+}
+
+std::string Pattern::str() const {
+  std::vector<std::string> Parts;
+  if (InPort)
+    Parts.push_back(format("port=%u", *InPort));
+  for (unsigned I = 0; I != NumFields; ++I)
+    if (Values[I])
+      Parts.push_back(format("%s=%u", fieldName(static_cast<Field>(I)),
+                             *Values[I]));
+  if (Parts.empty())
+    return "{*}";
+  return "{" + join(Parts, ", ") + "}";
+}

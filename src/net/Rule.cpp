@@ -1,0 +1,68 @@
+//===- net/Rule.cpp - Forwarding rules and tables --------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Rule.h"
+
+#include "support/Strings.h"
+
+#include <cassert>
+
+using namespace netupd;
+
+std::string Action::str() const {
+  if (K == Kind::Forward)
+    return format("fwd %u", OutPort);
+  return format("%s := %u", fieldName(F), Value);
+}
+
+std::string Rule::str() const {
+  std::vector<std::string> ActStrs;
+  for (const Action &A : Actions)
+    ActStrs.push_back(A.str());
+  return format("[pri=%u] %s -> (%s)", Priority, Pat.str().c_str(),
+                join(ActStrs, "; ").c_str());
+}
+
+void Table::removeRule(size_t Idx) {
+  assert(Idx < Rules.size() && "rule index out of range");
+  Rules.erase(Rules.begin() + static_cast<ptrdiff_t>(Idx));
+}
+
+int Table::matchIndex(const Header &Hdr, PortId InPort) const {
+  int Best = -1;
+  for (size_t I = 0, E = Rules.size(); I != E; ++I) {
+    if (!Rules[I].Pat.matches(Hdr, InPort))
+      continue;
+    if (Best < 0 || Rules[I].Priority > Rules[static_cast<size_t>(Best)].Priority)
+      Best = static_cast<int>(I);
+  }
+  return Best;
+}
+
+std::vector<Output> Table::apply(const Header &Hdr, PortId InPort) const {
+  int Idx = matchIndex(Hdr, InPort);
+  if (Idx < 0)
+    return {}; // No matching rule: drop.
+
+  std::vector<Output> Outs;
+  Header Cur = Hdr;
+  for (const Action &A : Rules[static_cast<size_t>(Idx)].Actions) {
+    if (A.K == Action::Kind::SetField) {
+      Cur.set(A.F, A.Value);
+      continue;
+    }
+    Outs.push_back(Output{Cur, A.OutPort});
+  }
+  return Outs;
+}
+
+std::string Table::str() const {
+  std::vector<std::string> Lines;
+  for (const Rule &R : Rules)
+    Lines.push_back("  " + R.str());
+  return "table {\n" + join(Lines, "\n") + "\n}";
+}

@@ -1,0 +1,128 @@
+//===- net/Rule.h - Forwarding rules and tables ----------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prioritized forwarding rules and tables (§3.1). The semantic function
+/// [[tbl]] maps a (packet, port) pair to the multiset of (packet, port)
+/// pairs produced by the highest-priority matching rule; packets with no
+/// matching rule are dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_NET_RULE_H
+#define NETUPD_NET_RULE_H
+
+#include "net/Packet.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netupd {
+
+/// A forwarding action: either send the packet out a port, or overwrite a
+/// header field ("fwd pt | f := n" in §3.1).
+struct Action {
+  enum class Kind : uint8_t { Forward, SetField };
+
+  Kind K = Kind::Forward;
+  PortId OutPort = InvalidPort; // Forward
+  Field F = Field::Src;         // SetField
+  uint32_t Value = 0;           // SetField
+
+  static Action forward(PortId Port) {
+    Action A;
+    A.K = Kind::Forward;
+    A.OutPort = Port;
+    return A;
+  }
+
+  static Action setField(Field F, uint32_t V) {
+    Action A;
+    A.K = Kind::SetField;
+    A.F = F;
+    A.Value = V;
+    return A;
+  }
+
+  friend bool operator==(const Action &A, const Action &B) {
+    if (A.K != B.K)
+      return false;
+    if (A.K == Kind::Forward)
+      return A.OutPort == B.OutPort;
+    return A.F == B.F && A.Value == B.Value;
+  }
+
+  std::string str() const;
+};
+
+/// A prioritized forwarding rule "{pri; pat; acts}". Higher priority wins.
+struct Rule {
+  uint32_t Priority = 0;
+  Pattern Pat;
+  std::vector<Action> Actions;
+
+  friend bool operator==(const Rule &A, const Rule &B) {
+    return A.Priority == B.Priority && A.Pat == B.Pat &&
+           A.Actions == B.Actions;
+  }
+
+  std::string str() const;
+};
+
+/// An output of table application: the (possibly rewritten) header and the
+/// port it is sent out of.
+struct Output {
+  Header Hdr;
+  PortId OutPort;
+
+  friend bool operator==(const Output &A, const Output &B) {
+    return A.Hdr == B.Hdr && A.OutPort == B.OutPort;
+  }
+};
+
+/// A forwarding table: a set of prioritized rules.
+class Table {
+public:
+  Table() = default;
+  explicit Table(std::vector<Rule> Rules) : Rules(std::move(Rules)) {}
+
+  const std::vector<Rule> &rules() const { return Rules; }
+  size_t size() const { return Rules.size(); }
+  bool empty() const { return Rules.empty(); }
+
+  void addRule(Rule R) { Rules.push_back(std::move(R)); }
+
+  /// Removes the rule at index \p Idx.
+  void removeRule(size_t Idx);
+
+  /// Returns the index of the highest-priority rule matching \p Hdr on
+  /// \p InPort, or -1 if the packet would be dropped. Ties are broken by
+  /// lowest index, making the semantics deterministic (the paper allows any
+  /// choice among equal priorities).
+  int matchIndex(const Header &Hdr, PortId InPort) const;
+
+  /// Applies [[tbl]]: runs the actions of the matching rule. The result is
+  /// the multiset of output (header, port) pairs; empty means drop.
+  std::vector<Output> apply(const Header &Hdr, PortId InPort) const;
+
+  friend bool operator==(const Table &A, const Table &B) {
+    return A.Rules == B.Rules;
+  }
+  friend bool operator!=(const Table &A, const Table &B) {
+    return !(A == B);
+  }
+
+  std::string str() const;
+
+private:
+  std::vector<Rule> Rules;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_NET_RULE_H

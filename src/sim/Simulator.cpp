@@ -1,0 +1,171 @@
+//===- sim/Simulator.cpp - Operational-semantics executor ------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace netupd;
+
+Simulator::Simulator(const Topology &Topo, Config Cfg, SimParams P)
+    : Topo(Topo), Cfg(std::move(Cfg)), P(P) {
+  LinkQueues.resize(Topo.numLinks());
+  LinkFromPort.assign(Topo.numPorts(), -1);
+  LinkFromHost.assign(Topo.numHosts(), -1);
+  for (unsigned I = 0; I != Topo.numLinks(); ++I) {
+    const Link &L = Topo.links()[I];
+    if (L.From.isHost())
+      LinkFromHost[L.From.Host] = static_cast<int>(I);
+    else
+      LinkFromPort[L.From.Port] = static_cast<int>(I);
+  }
+  MaxRules.resize(Topo.numSwitches());
+  for (SwitchId S = 0; S != Topo.numSwitches(); ++S)
+    MaxRules[S] = this->Cfg.table(S).size();
+}
+
+void Simulator::enqueueCommands(const CommandSeq &Cmds) {
+  Pending.insert(Pending.end(), Cmds.begin(), Cmds.end());
+}
+
+void Simulator::injectPacket(HostId From, Header Hdr, uint64_t PacketId) {
+  int LinkIdx = LinkFromHost[From];
+  assert(LinkIdx >= 0 && "host has no outgoing link");
+  InFlight Pkt;
+  Pkt.Hdr = Hdr;
+  Pkt.Epoch = Epoch; // The IN rule stamps the current epoch.
+  Pkt.PacketId = PacketId;
+  Pkt.ReadyTick = Tick + 1;
+  LinkQueues[static_cast<size_t>(LinkIdx)].push_back(Pkt);
+}
+
+void Simulator::processAtSwitch(SwitchId Sw, PortId InPort,
+                                const InFlight &Pkt) {
+  Observation Obs;
+  Obs.Sw = Sw;
+  Obs.Pt = InPort;
+  Obs.Hdr = Pkt.Hdr;
+  Observations.emplace_back(Pkt.PacketId, Obs);
+
+  std::vector<Output> Outs = Cfg.table(Sw).apply(Pkt.Hdr, InPort);
+  if (Outs.empty()) {
+    ++Dropped;
+    return;
+  }
+  for (const Output &O : Outs) {
+    int LinkIdx = O.OutPort < LinkFromPort.size()
+                      ? LinkFromPort[O.OutPort]
+                      : -1;
+    if (LinkIdx < 0) {
+      ++Dropped; // Forwarded out an unwired port.
+      continue;
+    }
+    InFlight Next = Pkt;
+    Next.Hdr = O.Hdr;
+    Next.ReadyTick = Tick + 1;
+    // Egress observations (Def. 7's second case) are recorded when the
+    // host end dequeues the packet, below in step().
+    LinkQueues[static_cast<size_t>(LinkIdx)].push_back(Next);
+  }
+}
+
+void Simulator::controllerStep() {
+  if (UpdateInProgress) {
+    if (Tick < UpdateDoneTick)
+      return;
+    const Command &C = Pending[NextCmd];
+    Cfg.setTable(C.Sw, C.NewTable);
+    MaxRules[C.Sw] = std::max(MaxRules[C.Sw], Cfg.table(C.Sw).size());
+    UpdateInProgress = false;
+    ++NextCmd;
+    return;
+  }
+  if (WaitInProgress) {
+    // FLUSH: block until no packet with an older epoch remains.
+    for (const auto &Queue : LinkQueues)
+      for (const InFlight &Pkt : Queue)
+        if (Pkt.Epoch < Epoch)
+          return;
+    WaitInProgress = false;
+    ++NextCmd;
+    return;
+  }
+  if (NextCmd == Pending.size())
+    return;
+  const Command &C = Pending[NextCmd];
+  if (C.K == Command::Kind::Wait) {
+    ++Epoch; // INCR.
+    WaitInProgress = true;
+    return;
+  }
+  UpdateInProgress = true;
+  UpdateDoneTick = Tick + P.UpdateLatencyTicks;
+}
+
+void Simulator::step() {
+  ++Tick;
+  controllerStep();
+
+  // Move every packet whose hop completes this tick. Collect arrivals
+  // first so packets forwarded this tick do not move twice.
+  struct Arrival {
+    unsigned LinkIdx;
+    InFlight Pkt;
+  };
+  std::vector<Arrival> Arrivals;
+  for (unsigned I = 0; I != LinkQueues.size(); ++I) {
+    auto &Queue = LinkQueues[I];
+    while (!Queue.empty() && Queue.front().ReadyTick <= Tick) {
+      Arrivals.push_back(Arrival{I, Queue.front()});
+      Queue.pop_front();
+    }
+  }
+
+  for (const Arrival &A : Arrivals) {
+    const Link &L = Topo.links()[A.LinkIdx];
+    if (L.To.isHost()) {
+      // OUT: record the egress observation and the delivery.
+      Observation Obs;
+      Obs.Sw = L.From.Switch;
+      Obs.Pt = L.From.Port;
+      Obs.Hdr = A.Pkt.Hdr;
+      Obs.IsOut = true;
+      Observations.emplace_back(A.Pkt.PacketId, Obs);
+      Delivered.push_back(
+          Delivery{L.To.Host, A.Pkt.Hdr, A.Pkt.PacketId, Tick});
+    } else {
+      processAtSwitch(L.To.Switch, L.To.Port, A.Pkt);
+    }
+  }
+}
+
+bool Simulator::quiescent() const {
+  if (NextCmd != Pending.size() || UpdateInProgress || WaitInProgress)
+    return false;
+  for (const auto &Queue : LinkQueues)
+    if (!Queue.empty())
+      return false;
+  return true;
+}
+
+bool Simulator::runToQuiescence(uint64_t MaxTicks) {
+  for (uint64_t I = 0; I != MaxTicks; ++I) {
+    if (quiescent())
+      return true;
+    step();
+  }
+  return quiescent();
+}
+
+std::vector<Observation> Simulator::packetTrace(uint64_t PacketId) const {
+  std::vector<Observation> Out;
+  for (const auto &[Id, Obs] : Observations)
+    if (Id == PacketId)
+      Out.push_back(Obs);
+  return Out;
+}

@@ -1,0 +1,139 @@
+//===- sim/Simulator.h - Operational-semantics executor --------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A discrete-time executor of the paper's network model (Fig. 3): hosts
+/// inject packets (IN), links carry them one hop per tick, switches apply
+/// their forwarding tables (PROCESS/FORWARD), host-facing links deliver
+/// (OUT), and a controller consumes a command queue (UPDATE/INCR/FLUSH).
+///
+/// The formal semantics is nondeterministic; the simulator fixes a fair
+/// deterministic schedule (every tick advances every element once), which
+/// suffices for the §2 experiments: it reproduces the transient packet
+/// loss of naive updates (Fig. 2(a)) and the rule overheads of two-phase
+/// updates (Fig. 2(b)), and it executes synthesized ordering updates with
+/// waits. Switch updates take UpdateLatencyTicks to apply, modeling the
+/// multi-millisecond rule-installation latency the paper cites [15, 22];
+/// packets move one hop per tick, modeling the much faster transit time.
+///
+/// A "wait" command implements incr;flush: it bumps the epoch and blocks
+/// the controller until every packet stamped with an older epoch has left
+/// the network.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SIM_SIMULATOR_H
+#define NETUPD_SIM_SIMULATOR_H
+
+#include "net/Config.h"
+#include "synth/Command.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace netupd {
+
+/// An observation (sw, pt, pkt) from the operational semantics, recorded
+/// at PROCESS and OUT transitions; sequences of these form single-packet
+/// traces (Def. 1).
+struct Observation {
+  SwitchId Sw = 0;
+  PortId Pt = InvalidPort;
+  Header Hdr;
+  bool IsOut = false; // True for the final OUT observation.
+};
+
+/// Simulator knobs.
+struct SimParams {
+  /// Ticks from issuing a switch update until the new table is live.
+  unsigned UpdateLatencyTicks = 20;
+};
+
+/// The discrete-time network simulator.
+class Simulator {
+public:
+  Simulator(const Topology &Topo, Config Cfg, SimParams P = {});
+
+  /// Appends commands to the controller's queue; they execute in order,
+  /// one at a time.
+  void enqueueCommands(const CommandSeq &Cmds);
+
+  /// Injects a packet from \p From into the network (the IN rule); it is
+  /// stamped with the current epoch. \p PacketId tags the packet so its
+  /// trace can be recovered.
+  void injectPacket(HostId From, Header Hdr, uint64_t PacketId = 0);
+
+  /// Advances the network by one tick.
+  void step();
+
+  /// Runs until no packets are in flight and no commands are pending, or
+  /// until \p MaxTicks elapse. Returns true if quiescent.
+  bool runToQuiescence(uint64_t MaxTicks = 100000);
+
+  bool quiescent() const;
+  uint64_t now() const { return Tick; }
+  const Config &config() const { return Cfg; }
+
+  /// One delivered packet.
+  struct Delivery {
+    HostId To = 0;
+    Header Hdr;
+    uint64_t PacketId = 0;
+    uint64_t Tick = 0;
+  };
+  const std::vector<Delivery> &deliveries() const { return Delivered; }
+
+  /// Number of packets dropped (no matching rule / unwired port).
+  uint64_t droppedCount() const { return Dropped; }
+
+  /// The maximum number of rules switch \p Sw has held at any time.
+  size_t maxRulesSeen(SwitchId Sw) const { return MaxRules[Sw]; }
+
+  /// The PROCESS/OUT observation sequence of packet \p PacketId, in
+  /// order — a single-packet trace once the packet has left the network.
+  std::vector<Observation> packetTrace(uint64_t PacketId) const;
+
+private:
+  struct InFlight {
+    Header Hdr;
+    unsigned Epoch = 0;
+    uint64_t PacketId = 0;
+    uint64_t ReadyTick = 0; // When it reaches the link's far end.
+  };
+
+  void processAtSwitch(SwitchId Sw, PortId InPort, const InFlight &Pkt);
+  void controllerStep();
+
+  const Topology &Topo;
+  Config Cfg;
+  SimParams P;
+
+  /// Per-link packet queues, indexed like Topo.links().
+  std::vector<std::deque<InFlight>> LinkQueues;
+  /// Link index leaving each (switch port); -1 if none.
+  std::vector<int> LinkFromPort;
+  /// Link index from each host; -1 if none.
+  std::vector<int> LinkFromHost;
+
+  CommandSeq Pending;
+  size_t NextCmd = 0;
+  unsigned Epoch = 0;
+  uint64_t UpdateDoneTick = 0; // Tick when the in-progress update lands.
+  bool UpdateInProgress = false;
+  bool WaitInProgress = false;
+
+  uint64_t Tick = 0;
+  uint64_t Dropped = 0;
+  std::vector<Delivery> Delivered;
+  std::vector<size_t> MaxRules;
+  std::vector<std::pair<uint64_t, Observation>> Observations;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SIM_SIMULATOR_H

@@ -1,0 +1,193 @@
+//===- support/Bitset.h - Dynamic fixed-capacity bitset --------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dynamically-sized bitset used for maximally-consistent formula
+/// sets (Section 5 of the paper) and for configuration masks in the
+/// synthesis search (Section 4). Unlike std::vector<bool> it supports
+/// hashing, word-level boolean algebra, and subset queries, all of which the
+/// labeling model checker needs on its hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SUPPORT_BITSET_H
+#define NETUPD_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace netupd {
+
+/// Dynamically-sized bitset with value semantics and word-level operations.
+///
+/// The size is fixed at construction (or via resize); all binary operations
+/// require both operands to have the same size.
+class Bitset {
+public:
+  Bitset() = default;
+
+  explicit Bitset(size_t NumBits) : NumBits(NumBits) {
+    Words.resize(numWords(NumBits), 0);
+  }
+
+  /// Returns the number of bits this set can hold.
+  size_t size() const { return NumBits; }
+
+  /// Resizes to \p NewNumBits, zero-filling any new bits.
+  void resize(size_t NewNumBits) {
+    NumBits = NewNumBits;
+    Words.resize(numWords(NewNumBits), 0);
+    clearUnusedBits();
+  }
+
+  bool test(size_t Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  void set(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] |= (uint64_t(1) << (Idx % 64));
+  }
+
+  void reset(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  void assign(size_t Idx, bool Value) {
+    if (Value)
+      set(Idx);
+    else
+      reset(Idx);
+  }
+
+  /// Sets all bits to zero, keeping the size.
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Returns true if no bit is set.
+  bool none() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return false;
+    return true;
+  }
+
+  bool any() const { return !none(); }
+
+  /// Returns the number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Returns true if every bit set in \p Other is also set in *this.
+  bool contains(const Bitset &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if ((Other.Words[I] & ~Words[I]) != 0)
+        return false;
+    return true;
+  }
+
+  /// Returns true if *this and \p Other share at least one set bit.
+  bool intersects(const Bitset &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if ((Words[I] & Other.Words[I]) != 0)
+        return true;
+    return false;
+  }
+
+  Bitset &operator|=(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= Other.Words[I];
+    return *this;
+  }
+
+  Bitset &operator&=(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= Other.Words[I];
+    return *this;
+  }
+
+  Bitset &operator^=(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] ^= Other.Words[I];
+    return *this;
+  }
+
+  friend Bitset operator|(Bitset A, const Bitset &B) { return A |= B; }
+  friend Bitset operator&(Bitset A, const Bitset &B) { return A &= B; }
+  friend Bitset operator^(Bitset A, const Bitset &B) { return A ^= B; }
+
+  friend bool operator==(const Bitset &A, const Bitset &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+  friend bool operator!=(const Bitset &A, const Bitset &B) {
+    return !(A == B);
+  }
+
+  /// Lexicographic order on the word representation; used to keep label
+  /// sets sorted and deduplicated.
+  friend bool operator<(const Bitset &A, const Bitset &B) {
+    assert(A.NumBits == B.NumBits && "size mismatch");
+    return A.Words < B.Words;
+  }
+
+  /// Hashes the bit contents (FNV-1a over the words).
+  size_t hash() const {
+    uint64_t H = 1469598103934665603ull;
+    for (uint64_t W : Words) {
+      H ^= W;
+      H *= 1099511628211ull;
+    }
+    return static_cast<size_t>(H);
+  }
+
+  /// Renders as a 0/1 string with bit 0 leftmost; handy in test failures.
+  std::string str() const {
+    std::string S;
+    S.reserve(NumBits);
+    for (size_t I = 0; I != NumBits; ++I)
+      S.push_back(test(I) ? '1' : '0');
+    return S;
+  }
+
+private:
+  static size_t numWords(size_t Bits) { return (Bits + 63) / 64; }
+
+  void clearUnusedBits() {
+    if (NumBits % 64 == 0 || Words.empty())
+      return;
+    Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+/// Hash functor so Bitset can key unordered containers.
+struct BitsetHash {
+  size_t operator()(const Bitset &B) const { return B.hash(); }
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SUPPORT_BITSET_H

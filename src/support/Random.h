@@ -1,0 +1,82 @@
+//===- support/Random.h - Deterministic PRNG -------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64-based pseudo-random generator. All topology and workload
+/// generation in this repository is seeded through this class so every
+/// experiment is reproducible bit-for-bit across platforms (std::mt19937
+/// distributions are not portable across standard libraries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SUPPORT_RANDOM_H
+#define NETUPD_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace netupd {
+
+/// Deterministic, portable pseudo-random number generator (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    // Debiased modulo via rejection sampling.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+  /// Derives an independent generator; used to give each experiment
+  /// instance its own stream without coupling to generation order.
+  Rng fork() { return Rng(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SUPPORT_RANDOM_H

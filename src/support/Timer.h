@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock stopwatch used by the benchmark harnesses to report
+/// synthesis and model-checking runtimes (Figures 7 and 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SUPPORT_TIMER_H
+#define NETUPD_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace netupd {
+
+/// Wall-clock stopwatch; starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SUPPORT_TIMER_H

@@ -1,0 +1,131 @@
+//===- synth/Baselines.cpp - Naive and two-phase baselines -----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Baselines.h"
+
+#include <algorithm>
+
+using namespace netupd;
+
+CommandSeq netupd::naiveSequence(const Config &Initial, const Config &Final) {
+  CommandSeq Seq;
+  for (SwitchId Sw : diffSwitches(Initial, Final))
+    Seq.push_back(Command::update(Sw, Final.table(Sw)));
+  return Seq;
+}
+
+CommandSeq TwoPhasePlan::fullSequence() const {
+  CommandSeq Seq = InstallNew;
+  Seq.push_back(Command::wait());
+  Seq.insert(Seq.end(), FlipIngress.begin(), FlipIngress.end());
+  Seq.push_back(Command::wait());
+  Seq.insert(Seq.end(), SwapClean.begin(), SwapClean.end());
+  Seq.insert(Seq.end(), Unstamp.begin(), Unstamp.end());
+  Seq.push_back(Command::wait());
+  Seq.insert(Seq.end(), StripTags.begin(), StripTags.end());
+  return Seq;
+}
+
+namespace {
+
+/// Host-facing (ingress) ports of switch \p Sw.
+std::vector<PortId> ingressPorts(const Topology &Topo, SwitchId Sw) {
+  std::vector<PortId> Ports;
+  for (const Link &L : Topo.links())
+    if (L.From.isHost() && !L.To.isHost() && L.To.Switch == Sw)
+      Ports.push_back(L.To.Port);
+  return Ports;
+}
+
+/// Copies \p R with the version tag \p Tag added to the pattern and
+/// priority raised by \p PriorityBoost.
+Rule taggedRule(const Rule &R, uint32_t Tag, uint32_t PriorityBoost) {
+  Rule Out = R;
+  Out.Pat.Values[static_cast<size_t>(Field::Typ)] = Tag;
+  Out.Priority += PriorityBoost;
+  return Out;
+}
+
+} // namespace
+
+TwoPhasePlan netupd::makeTwoPhasePlan(const Topology &Topo,
+                                      const Config &Initial,
+                                      const Config &Final) {
+  TwoPhasePlan Plan;
+  unsigned N = Initial.numSwitches();
+  Plan.MaxRulesPerSwitch.assign(N, 0);
+
+  for (SwitchId Sw = 0; Sw != N; ++Sw) {
+    const Table &Old = Initial.table(Sw);
+    const Table &New = Final.table(Sw);
+    std::vector<PortId> Ingress = ingressPorts(Topo, Sw);
+
+    // Step 1: keep the old rules and install the final rules scoped to the
+    // new version tag, one priority level above.
+    std::vector<Rule> TaggedNew;
+    for (const Rule &R : New.rules())
+      TaggedNew.push_back(taggedRule(R, NewVersionTag, /*PriorityBoost=*/1));
+    std::vector<Rule> Mixed = Old.rules();
+    Mixed.insert(Mixed.end(), TaggedNew.begin(), TaggedNew.end());
+    size_t MixedSize = Mixed.size();
+    bool Changed = !(Old == New);
+    if (Changed || !Ingress.empty())
+      Plan.InstallNew.push_back(Command::update(Sw, Table(Mixed)));
+
+    // Step 2: ingress switches stamp packets entering from hosts with the
+    // new tag and forward them per the final configuration.
+    std::vector<Rule> Stamps;
+    if (!Ingress.empty()) {
+      for (const Rule &R : New.rules()) {
+        for (PortId P : Ingress) {
+          Rule S = R;
+          S.Pat.InPort = P;
+          S.Priority += 2;
+          S.Actions.insert(S.Actions.begin(),
+                           Action::setField(Field::Typ, NewVersionTag));
+          Stamps.push_back(S);
+        }
+      }
+      std::vector<Rule> Stamping = Mixed;
+      Stamping.insert(Stamping.end(), Stamps.begin(), Stamps.end());
+      Plan.FlipIngress.push_back(Command::update(Sw, Table(Stamping)));
+    }
+
+    // Step 3: old rules out, untagged final rules in; tagged duplicates
+    // and stamping remain so every in-flight (tagged) packet still
+    // matches.
+    std::vector<Rule> Swapped = New.rules();
+    Swapped.insert(Swapped.end(), TaggedNew.begin(), TaggedNew.end());
+    std::vector<Rule> SwappedStamping = Swapped;
+    SwappedStamping.insert(SwappedStamping.end(), Stamps.begin(),
+                           Stamps.end());
+    if (Changed || !Ingress.empty())
+      Plan.SwapClean.push_back(Command::update(
+          Sw, Table(Ingress.empty() ? Swapped : SwappedStamping)));
+
+    // Step 4: ingresses stop stamping.
+    if (!Ingress.empty())
+      Plan.Unstamp.push_back(Command::update(Sw, Table(Swapped)));
+
+    // Step 5: the tagged duplicates go; exactly the final table remains.
+    if (Changed || !Ingress.empty())
+      Plan.StripTags.push_back(Command::update(Sw, New));
+
+    Plan.MaxRulesPerSwitch[Sw] =
+        std::max({Old.size(), New.size(), MixedSize + Stamps.size(),
+                  Swapped.size() + Stamps.size()});
+  }
+  return Plan;
+}
+
+std::vector<size_t> netupd::orderingRuleHighWater(const Config &Initial,
+                                                  const Config &Final) {
+  std::vector<size_t> Out(Initial.numSwitches());
+  for (SwitchId Sw = 0; Sw != Initial.numSwitches(); ++Sw)
+    Out[Sw] = std::max(Initial.table(Sw).size(), Final.table(Sw).size());
+  return Out;
+}

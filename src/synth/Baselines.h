@@ -1,0 +1,84 @@
+//===- synth/Baselines.h - Naive and two-phase baselines -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two comparison strategies of §2 / Fig. 2:
+///
+///  - the "naive" update, which pushes the final tables in an arbitrary
+///    (here: ascending switch-id) order with no waits — the strategy whose
+///    probe loss Fig. 2(a) shows;
+///  - the two-phase consistent update of Reitblatt et al. (SIGCOMM 2012),
+///    which stamps packets with a version tag on ingress and keeps both
+///    rule generations installed during the transition — correct, but with
+///    the per-switch rule overhead Fig. 2(b) shows.
+///
+/// The two-phase plan here uses the `typ` header field as the version tag
+/// (the paper's implementation uses VLAN tags); the simulator executes the
+/// plan and the rule-overhead accounting feeds the Fig. 2(b) bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SYNTH_BASELINES_H
+#define NETUPD_SYNTH_BASELINES_H
+
+#include "synth/Command.h"
+
+#include <vector>
+
+namespace netupd {
+
+/// Version-tag values used by two-phase plans.
+inline constexpr uint32_t OldVersionTag = 0;
+inline constexpr uint32_t NewVersionTag = 1;
+
+/// The naive update: final tables pushed in ascending switch order with no
+/// synchronization.
+CommandSeq naiveSequence(const Config &Initial, const Config &Final);
+
+/// A two-phase update plan, executed in five steps with three waits.
+/// The cleanup is staged: old rules must disappear while every in-flight
+/// packet still carries the new tag, untagged handling must point at the
+/// new rules everywhere before the ingresses stop stamping, and the
+/// tagged duplicates can only go once the last tagged packet has drained.
+struct TwoPhasePlan {
+  /// Step 1: internal switches gain the final rules, duplicated to match
+  /// only packets stamped with the new version tag (old rules remain).
+  CommandSeq InstallNew;
+  /// Step 2 (after a wait): ingress switches start stamping packets with
+  /// the new tag and forwarding them per the final configuration.
+  CommandSeq FlipIngress;
+  /// Step 3 (after a wait drains the old-version packets): old rules are
+  /// replaced by the untagged final rules; the tagged duplicates and the
+  /// ingress stamping stay.
+  CommandSeq SwapClean;
+  /// Step 4: ingresses stop stamping (fresh packets use the new rules).
+  CommandSeq Unstamp;
+  /// Step 5 (after a wait drains the tagged packets): the tagged
+  /// duplicates are removed, leaving exactly the final configuration.
+  CommandSeq StripTags;
+
+  /// The maximum number of rules each switch holds at any point during the
+  /// transition (Fig. 2(b), green bars).
+  std::vector<size_t> MaxRulesPerSwitch;
+
+  /// The full command sequence with the three waits in place.
+  CommandSeq fullSequence() const;
+};
+
+/// Builds a two-phase plan for \p Initial -> \p Final. \p IngressSwitches
+/// are the switches that stamp version tags (those adjacent to hosts).
+TwoPhasePlan makeTwoPhasePlan(const Topology &Topo, const Config &Initial,
+                              const Config &Final);
+
+/// Per-switch rule high-water mark for an ordering update: each switch
+/// holds either its old or its new table, never both (Fig. 2(b), red).
+std::vector<size_t> orderingRuleHighWater(const Config &Initial,
+                                          const Config &Final);
+
+} // namespace netupd
+
+#endif // NETUPD_SYNTH_BASELINES_H

@@ -1,0 +1,38 @@
+//===- synth/Command.cpp - Update command sequences ------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Command.h"
+
+#include "support/Strings.h"
+
+using namespace netupd;
+
+std::string netupd::commandSeqToString(const Topology &Topo,
+                                       const CommandSeq &Seq) {
+  std::vector<std::string> Parts;
+  for (const Command &C : Seq) {
+    if (C.K == Command::Kind::Wait)
+      Parts.push_back("wait");
+    else
+      Parts.push_back("upd " + Topo.switchName(C.Sw));
+  }
+  return join(Parts, "; ");
+}
+
+unsigned netupd::countWaits(const CommandSeq &Seq) {
+  unsigned N = 0;
+  for (const Command &C : Seq)
+    if (C.K == Command::Kind::Wait)
+      ++N;
+  return N;
+}
+
+void netupd::applyCommands(Config &Cfg, const CommandSeq &Seq) {
+  for (const Command &C : Seq)
+    if (C.K == Command::Kind::Update)
+      Cfg.setTable(C.Sw, C.NewTable);
+}

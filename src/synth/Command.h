@@ -1,0 +1,60 @@
+//===- synth/Command.h - Update command sequences --------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controller command language of §3.1 as seen by clients: a sequence
+/// of switch(-table) updates and waits. A "wait" stands for incr;flush —
+/// it blocks the controller until every packet admitted before it has left
+/// the network.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SYNTH_COMMAND_H
+#define NETUPD_SYNTH_COMMAND_H
+
+#include "net/Config.h"
+#include "net/Topology.h"
+
+#include <string>
+#include <vector>
+
+namespace netupd {
+
+/// One controller command.
+struct Command {
+  enum class Kind : uint8_t { Update, Wait };
+
+  Kind K = Kind::Wait;
+  SwitchId Sw = 0;  // Update only.
+  Table NewTable;   // Update only: the full replacement table.
+
+  static Command update(SwitchId Sw, Table T) {
+    Command C;
+    C.K = Kind::Update;
+    C.Sw = Sw;
+    C.NewTable = std::move(T);
+    return C;
+  }
+
+  static Command wait() { return Command(); }
+};
+
+using CommandSeq = std::vector<Command>;
+
+/// Renders "upd C2; wait; upd A1" using switch names from \p Topo.
+std::string commandSeqToString(const Topology &Topo, const CommandSeq &Seq);
+
+/// Number of Wait commands in \p Seq.
+unsigned countWaits(const CommandSeq &Seq);
+
+/// Applies every update of \p Seq to \p Cfg (ignoring waits); used to
+/// confirm that a sequence reaches the final configuration.
+void applyCommands(Config &Cfg, const CommandSeq &Seq);
+
+} // namespace netupd
+
+#endif // NETUPD_SYNTH_COMMAND_H

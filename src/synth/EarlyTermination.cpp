@@ -1,0 +1,94 @@
+//===- synth/EarlyTermination.cpp - SAT-based search cutoff ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/EarlyTermination.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace netupd;
+
+sat::Lit EarlyTermination::before(unsigned A, unsigned B) {
+  assert(A != B && "no ordering variable for an operation with itself");
+  // One variable per unordered pair; the literal's sign encodes direction
+  // (positive: min-id op first), giving antisymmetry and totality for
+  // free.
+  bool Swapped = A > B;
+  if (Swapped)
+    std::swap(A, B);
+  auto [It, Inserted] = PairVars.try_emplace({A, B}, 0);
+  if (Inserted)
+    It->second = Solver.newVar();
+  return sat::Lit(It->second, /*Negated=*/Swapped);
+}
+
+void EarlyTermination::mention(unsigned Op) {
+  if (std::find(Mentioned.begin(), Mentioned.end(), Op) != Mentioned.end())
+    return;
+  // Encode transitivity against already-mentioned operations while small:
+  // before(a,b) & before(b,c) -> before(a,c) for every ordered triple
+  // containing Op.
+  if (Mentioned.size() < TransitivityCap) {
+    for (size_t I = 0; I != Mentioned.size(); ++I) {
+      for (size_t J = 0; J != Mentioned.size(); ++J) {
+        if (I == J)
+          continue;
+        unsigned A = Mentioned[I], B = Mentioned[J];
+        // Triples (A,B,Op), (A,Op,B), (Op,A,B).
+        Solver.addClause({~before(A, B), ~before(B, Op), before(A, Op)});
+        Solver.addClause({~before(A, Op), ~before(Op, B), before(A, B)});
+        Solver.addClause({~before(Op, A), ~before(A, B), before(Op, B)});
+        Clauses += 3;
+      }
+    }
+  }
+  Mentioned.push_back(Op);
+}
+
+void EarlyTermination::addCexConstraint(
+    const std::vector<unsigned> &Updated,
+    const std::vector<unsigned> &NotUpdated) {
+  if (KnownImpossible)
+    return;
+  if (NotUpdated.empty()) {
+    // The all-updated combination is bad: the final configuration itself
+    // violates the property, so no order whatsoever can work.
+    KnownImpossible = true;
+    return;
+  }
+  assert(!Updated.empty() &&
+         "a counterexample with no updated switch would already hold in "
+         "the initial configuration");
+
+  // Oversized constraints are dropped (sound relaxation; see header).
+  if (Updated.size() * NotUpdated.size() > MaxClauseLits)
+    return;
+
+  for (unsigned Op : Updated)
+    mention(Op);
+  for (unsigned Op : NotUpdated)
+    mention(Op);
+
+  std::vector<sat::Lit> Clause;
+  Clause.reserve(Updated.size() * NotUpdated.size());
+  for (unsigned D : NotUpdated)
+    for (unsigned U : Updated)
+      Clause.push_back(before(D, U));
+  Solver.addClause(std::move(Clause));
+  ++Clauses;
+  Dirty = true;
+}
+
+bool EarlyTermination::impossible() {
+  if (KnownImpossible)
+    return true;
+  if (!Dirty)
+    return !LastSat;
+  Dirty = false;
+  LastSat = Solver.solve();
+  return !LastSat;
+}

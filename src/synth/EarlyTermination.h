@@ -1,0 +1,87 @@
+//===- synth/EarlyTermination.h - SAT-based search cutoff ------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The early-search-termination optimization of §4.2 (B). Every
+/// counterexample observed during the DFS names a set of updated
+/// operations U and not-yet-updated operations D whose combination is bad;
+/// any correct total order must therefore update some d in D before some u
+/// in U. These disjunctive precedence constraints accumulate in an
+/// incremental SAT solver over "a before b" variables; when they become
+/// unsatisfiable, no simple order exists and the search stops.
+///
+/// Soundness note: the ordering theory needs transitivity, which is cubic
+/// in the number of mentioned operations. We add transitivity clauses only
+/// while the mentioned set is small (TransitivityCap); beyond that the
+/// encoding is a *relaxation* — it admits more orders than really exist —
+/// so an UNSAT verdict remains a valid proof of impossibility, which is
+/// the only verdict the search acts on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SYNTH_EARLYTERMINATION_H
+#define NETUPD_SYNTH_EARLYTERMINATION_H
+
+#include "sat/Solver.h"
+
+#include <map>
+#include <vector>
+
+namespace netupd {
+
+/// Accumulates ordering constraints mined from counterexamples and decides
+/// when they are jointly contradictory.
+class EarlyTermination {
+public:
+  /// \p TransitivityCap bounds the mentioned-operation set for which full
+  /// transitivity is encoded (see file comment). \p MaxClauseLits drops
+  /// constraints whose |Updated| x |NotUpdated| disjunction would exceed
+  /// the bound — another relaxation: large counterexamples (long paths)
+  /// produce enormous clauses of little pruning value, and omitting them
+  /// keeps the solver calls cheap without affecting soundness.
+  /// The defaults keep the encoding small: clause count grows with the
+  /// cube of TransitivityCap, and the search consults the solver after
+  /// every learned constraint.
+  explicit EarlyTermination(unsigned TransitivityCap = 16,
+                            size_t MaxClauseLits = 1024)
+      : TransitivityCap(TransitivityCap), MaxClauseLits(MaxClauseLits) {}
+
+  /// Records the constraint from one counterexample: some operation of
+  /// \p NotUpdated must precede some operation of \p Updated. An empty
+  /// \p NotUpdated set means the final configuration itself is bad and no
+  /// order can exist.
+  void addCexConstraint(const std::vector<unsigned> &Updated,
+                        const std::vector<unsigned> &NotUpdated);
+
+  /// True when the accumulated constraints admit no total order; runs the
+  /// incremental SAT solver.
+  bool impossible();
+
+  uint64_t numClauses() const { return Clauses; }
+
+private:
+  /// The literal meaning "operation A is updated before operation B".
+  sat::Lit before(unsigned A, unsigned B);
+
+  /// Registers \p Op as mentioned, emitting transitivity clauses against
+  /// previously mentioned operations while under the cap.
+  void mention(unsigned Op);
+
+  sat::Solver Solver;
+  std::map<std::pair<unsigned, unsigned>, sat::Var> PairVars;
+  std::vector<unsigned> Mentioned;
+  unsigned TransitivityCap;
+  size_t MaxClauseLits;
+  uint64_t Clauses = 0;
+  bool KnownImpossible = false;
+  bool Dirty = false;     // New clauses since the last solve.
+  bool LastSat = true;    // Cached verdict.
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SYNTH_EARLYTERMINATION_H

@@ -1,0 +1,401 @@
+//===- synth/OrderUpdate.cpp - The ORDERUPDATE algorithm -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/OrderUpdate.h"
+
+#include "support/Bitset.h"
+#include "support/Timer.h"
+#include "synth/EarlyTermination.h"
+#include "synth/WaitRemoval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace netupd;
+
+namespace {
+
+/// One search operation: replace switch Sw's whole table (ClassIdx = -1,
+/// switch granularity) or only its rules for one traffic class
+/// (rule granularity).
+struct MicroOp {
+  SwitchId Sw = 0;
+  int ClassIdx = -1;
+};
+
+/// True if \p R can apply to packets of class \p Hdr (every constrained
+/// field agrees).
+bool ruleBelongsToClass(const Rule &R, const Header &Hdr) {
+  for (unsigned I = 0; I != NumFields; ++I) {
+    const std::optional<uint32_t> &V = R.Pat.Values[I];
+    if (V && *V != Hdr.Values[I])
+      return false;
+  }
+  return true;
+}
+
+/// The rules of \p T restricted to class \p Hdr.
+std::vector<Rule> classSlice(const Table &T, const Header &Hdr) {
+  std::vector<Rule> Out;
+  for (const Rule &R : T.rules())
+    if (ruleBelongsToClass(R, Hdr))
+      Out.push_back(R);
+  return Out;
+}
+
+/// The table resulting from firing one op on \p Current: the whole final
+/// table (switch granularity), or Current with one class's slice replaced
+/// by the final slice (rule granularity).
+Table opResultTable(const Table &Current, const Table &FinalT,
+                    const Header *ClassHdr) {
+  if (!ClassHdr)
+    return FinalT;
+  std::vector<Rule> Rules;
+  for (const Rule &R : Current.rules())
+    if (!ruleBelongsToClass(R, *ClassHdr))
+      Rules.push_back(R);
+  for (const Rule &R : FinalT.rules())
+    if (ruleBelongsToClass(R, *ClassHdr))
+      Rules.push_back(R);
+  return Table(std::move(Rules));
+}
+
+/// The depth-first search of Fig. 4, with state shared across recursion.
+class OrderUpdateSearch {
+public:
+  OrderUpdateSearch(const Topology &Topo, const Config &Initial,
+                    const Config &Final,
+                    const std::vector<TrafficClass> &Classes, Formula Phi,
+                    CheckerBackend &Checker, const SynthOptions &Opts)
+      : Topo(Topo), Initial(Initial), Final(Final), Classes(Classes),
+        Phi(Phi), Checker(Checker), Opts(Opts),
+        K(Topo, Initial, Classes) {}
+
+  SynthResult run();
+
+private:
+  void buildOps();
+  bool dfs();
+  bool matchesWrong(const Bitset &Bits) const;
+  void learnCex(const std::vector<StateId> &CexStates, const Bitset &Bits);
+  bool hitLimits();
+  CommandSeq buildCommands() const;
+
+  const Topology &Topo;
+  const Config &Initial;
+  const Config &Final;
+  const std::vector<TrafficClass> &Classes;
+  Formula Phi;
+  CheckerBackend &Checker;
+  SynthOptions Opts;
+
+  KripkeStructure K;
+  std::vector<MicroOp> Ops;
+  std::vector<unsigned> OpOrder; // DFS candidate order (adds first).
+  std::vector<std::vector<unsigned>> SwitchOps; // Switch -> op indices.
+  Bitset Applied;
+  std::vector<unsigned> AppliedSeq;
+  std::unordered_set<Bitset, BitsetHash> Visited; // V of Fig. 4.
+  std::vector<std::pair<Bitset, Bitset>> Wrong;   // W: (mask, value).
+  EarlyTermination ET;
+
+  SynthStats Stats;
+  Timer Clock;
+  bool Abort = false;
+  SynthStatus AbortStatus = SynthStatus::Aborted;
+  /// The SAT check batches failures: solving after every learned clause
+  /// is wasted work when the constraints are still easily satisfiable.
+  unsigned FailuresSinceEtCheck = 0;
+  static constexpr unsigned EtCheckInterval = 8;
+};
+
+void OrderUpdateSearch::buildOps() {
+  SwitchOps.assign(Topo.numSwitches(), {});
+  for (SwitchId Sw : diffSwitches(Initial, Final)) {
+    if (!Opts.RuleGranularity) {
+      SwitchOps[Sw].push_back(static_cast<unsigned>(Ops.size()));
+      Ops.push_back(MicroOp{Sw, -1});
+      continue;
+    }
+    // Rule granularity: one op per traffic class whose slice changes.
+    // Rules outside every class (none in the generated workloads) fall
+    // back to a whole-switch op so the final table is always reached.
+    bool Residue = false;
+    for (const Rule &R : Initial.table(Sw).rules()) {
+      bool InSomeClass = false;
+      for (const TrafficClass &C : Classes)
+        InSomeClass |= ruleBelongsToClass(R, C.Hdr);
+      Residue |= !InSomeClass;
+    }
+    for (const Rule &R : Final.table(Sw).rules()) {
+      bool InSomeClass = false;
+      for (const TrafficClass &C : Classes)
+        InSomeClass |= ruleBelongsToClass(R, C.Hdr);
+      Residue |= !InSomeClass;
+    }
+    if (Residue) {
+      SwitchOps[Sw].push_back(static_cast<unsigned>(Ops.size()));
+      Ops.push_back(MicroOp{Sw, -1});
+      continue;
+    }
+    for (unsigned C = 0; C != Classes.size(); ++C) {
+      if (classSlice(Initial.table(Sw), Classes[C].Hdr) ==
+          classSlice(Final.table(Sw), Classes[C].Hdr))
+        continue;
+      SwitchOps[Sw].push_back(static_cast<unsigned>(Ops.size()));
+      Ops.push_back(MicroOp{Sw, static_cast<int>(C)});
+    }
+  }
+
+  // Candidate order heuristic: try purely-additive ops first (installing
+  // rules on switches that carry none for the affected scope) — those are
+  // the safe "unreachable switch" updates the paper's §2 discussion
+  // performs first. Completeness is unaffected: this only permutes the
+  // DFS children.
+  OpOrder.resize(Ops.size());
+  for (unsigned I = 0; I != Ops.size(); ++I)
+    OpOrder[I] = I;
+  auto IsAdditive = [&](unsigned I) {
+    const MicroOp &Op = Ops[I];
+    if (Op.ClassIdx < 0)
+      return Initial.table(Op.Sw).empty();
+    return classSlice(Initial.table(Op.Sw),
+                      Classes[static_cast<size_t>(Op.ClassIdx)].Hdr)
+        .empty();
+  };
+  std::stable_sort(OpOrder.begin(), OpOrder.end(),
+                   [&](unsigned A, unsigned B) {
+                     return IsAdditive(A) > IsAdditive(B);
+                   });
+}
+
+bool OrderUpdateSearch::matchesWrong(const Bitset &Bits) const {
+  for (const auto &[Mask, Value] : Wrong)
+    if ((Bits & Mask) == Value)
+      return true;
+  return false;
+}
+
+void OrderUpdateSearch::learnCex(const std::vector<StateId> &CexStates,
+                                 const Bitset &Bits) {
+  // The counterexample trace depends only on how the switches it crosses
+  // route its own traffic class, so any configuration agreeing with the
+  // current one on those operations reproduces the violation (§4.2 A).
+  std::vector<uint8_t> SwInCex(Topo.numSwitches(), 0);
+  std::vector<uint8_t> ClassInCex(Classes.size(), 0);
+  for (StateId S : CexStates) {
+    SwInCex[K.stateSwitch(S)] = 1;
+    ClassInCex[K.stateClass(S)] = 1;
+  }
+
+  Bitset Mask(Ops.size());
+  for (SwitchId Sw = 0; Sw != Topo.numSwitches(); ++Sw) {
+    if (!SwInCex[Sw])
+      continue;
+    for (unsigned OpIdx : SwitchOps[Sw]) {
+      const MicroOp &Op = Ops[OpIdx];
+      // Rule-granularity ops for unrelated classes do not influence the
+      // trace; leaving them out strengthens the pruning.
+      if (Op.ClassIdx >= 0 &&
+          !ClassInCex[static_cast<size_t>(Op.ClassIdx)])
+        continue;
+      Mask.set(OpIdx);
+    }
+  }
+  Bitset Value = Bits & Mask;
+  if (Mask.none())
+    return; // Defensive: a cex with no in-diff switch teaches nothing.
+  Wrong.emplace_back(Mask, Value);
+
+  if (!Opts.EarlyTermination)
+    return;
+  std::vector<unsigned> Updated, NotUpdated;
+  for (unsigned I = 0; I != Ops.size(); ++I) {
+    if (!Mask.test(I))
+      continue;
+    if (Value.test(I))
+      Updated.push_back(I);
+    else
+      NotUpdated.push_back(I);
+  }
+  // A violating trace through entirely not-updated switches would also
+  // exist in the initial configuration, which was verified; so Updated is
+  // never empty here (see EarlyTermination.h).
+  assert(!Updated.empty() && "counterexample independent of any update");
+  if (Updated.empty())
+    return;
+  ET.addCexConstraint(Updated, NotUpdated);
+  Stats.SatClauses = ET.numClauses();
+}
+
+bool OrderUpdateSearch::hitLimits() {
+  if (Opts.TimeoutSeconds > 0.0 && Clock.seconds() > Opts.TimeoutSeconds)
+    return true;
+  if (Opts.MaxCheckCalls != 0 && Stats.CheckCalls >= Opts.MaxCheckCalls)
+    return true;
+  return false;
+}
+
+bool OrderUpdateSearch::dfs() {
+  if (Applied.count() == Ops.size())
+    return true;
+
+  for (unsigned CandIdx = 0; CandIdx != OpOrder.size(); ++CandIdx) {
+    unsigned I = OpOrder[CandIdx];
+    if (Applied.test(I))
+      continue;
+
+    Bitset Next = Applied;
+    Next.set(I);
+    if (Visited.count(Next)) {
+      ++Stats.VisitedPrunes;
+      continue;
+    }
+    if (Opts.CexPruning && matchesWrong(Next)) {
+      ++Stats.CexPrunes;
+      continue;
+    }
+    if (hitLimits()) {
+      Abort = true;
+      AbortStatus = SynthStatus::Aborted;
+      return false;
+    }
+
+    const MicroOp &Op = Ops[I];
+    const Header *ClassHdr =
+        Op.ClassIdx < 0 ? nullptr
+                        : &Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
+    Table NewTable =
+        opResultTable(K.config().table(Op.Sw), Final.table(Op.Sw), ClassHdr);
+
+    std::vector<StateId> Changed;
+    KripkeStructure::UndoRecord Undo =
+        K.applySwitchUpdate(Op.Sw, NewTable, Changed);
+    UpdateInfo Info;
+    Info.Sw = Op.Sw;
+    Info.OldTable = &Undo.OldTable;
+    Info.NewTable = &NewTable;
+    Info.ChangedStates = &Changed;
+
+    CheckResult Res = Checker.recheckAfterUpdate(Info);
+    ++Stats.CheckCalls;
+    Visited.insert(Next);
+
+    bool Success = false;
+    if (Res.Holds) {
+      Applied.set(I);
+      AppliedSeq.push_back(I);
+      Success = dfs();
+      if (!Success) {
+        Applied.reset(I);
+        AppliedSeq.pop_back();
+      }
+    } else if (Opts.CexPruning && !Res.Cex.empty() &&
+               Checker.providesCounterexamples()) {
+      learnCex(Res.Cex, Next);
+    }
+
+    if (Success)
+      return true; // Keep the final structure; no rollback.
+
+    Checker.notifyRollback();
+    K.undo(Undo);
+
+    if (Opts.EarlyTermination && !Res.Holds &&
+        ++FailuresSinceEtCheck >= EtCheckInterval) {
+      FailuresSinceEtCheck = 0;
+      if (ET.impossible()) {
+        Stats.EarlyTerminated = true;
+        Abort = true;
+        AbortStatus = SynthStatus::Impossible;
+        return false;
+      }
+    }
+    if (Abort)
+      return false;
+  }
+  return false;
+}
+
+CommandSeq OrderUpdateSearch::buildCommands() const {
+  // Replay the successful op order from the initial configuration,
+  // snapshotting the table each op installs; a wait separates every two
+  // updates (careful sequence, Def. 5).
+  CommandSeq Seq;
+  Config Cur = Initial;
+  for (size_t Step = 0; Step != AppliedSeq.size(); ++Step) {
+    const MicroOp &Op = Ops[AppliedSeq[Step]];
+    const Header *ClassHdr =
+        Op.ClassIdx < 0 ? nullptr
+                        : &Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
+    Table NewTable =
+        opResultTable(Cur.table(Op.Sw), Final.table(Op.Sw), ClassHdr);
+    Cur.setTable(Op.Sw, NewTable);
+    if (Step != 0)
+      Seq.push_back(Command::wait());
+    Seq.push_back(Command::update(Op.Sw, std::move(NewTable)));
+  }
+  return Seq;
+}
+
+SynthResult OrderUpdateSearch::run() {
+  SynthResult Result;
+  buildOps();
+  Applied.resize(Ops.size());
+
+  CheckResult InitRes = Checker.bind(K, Phi);
+  ++Stats.CheckCalls;
+  if (!InitRes.Holds) {
+    Result.Status = SynthStatus::InitialViolation;
+    Stats.SynthSeconds = Clock.seconds();
+    Result.Stats = Stats;
+    return Result;
+  }
+
+  bool Found = dfs();
+  Stats.SynthSeconds = Clock.seconds();
+
+  if (!Found) {
+    Result.Status = Abort ? AbortStatus : SynthStatus::Impossible;
+    Result.Stats = Stats;
+    return Result;
+  }
+
+  Result.Status = SynthStatus::Success;
+  Result.Commands = buildCommands();
+  Stats.WaitsBeforeRemoval = countWaits(Result.Commands);
+  Stats.WaitsAfterRemoval = Stats.WaitsBeforeRemoval;
+  if (Opts.WaitRemoval) {
+    Timer WaitClock;
+    Result.Commands = removeWaits(Topo, Initial, Classes, Result.Commands);
+    Stats.WaitRemovalSeconds = WaitClock.seconds();
+    Stats.WaitsAfterRemoval = countWaits(Result.Commands);
+  }
+  Result.Stats = Stats;
+  return Result;
+}
+
+} // namespace
+
+SynthResult netupd::synthesizeUpdate(const Topology &Topo,
+                                     const Config &Initial,
+                                     const Config &Final,
+                                     const std::vector<TrafficClass> &Classes,
+                                     Formula Phi, CheckerBackend &Checker,
+                                     const SynthOptions &Opts) {
+  OrderUpdateSearch Search(Topo, Initial, Final, Classes, Phi, Checker,
+                           Opts);
+  return Search.run();
+}
+
+SynthResult netupd::synthesizeUpdate(const Scenario &S, FormulaFactory &FF,
+                                     CheckerBackend &Checker,
+                                     const SynthOptions &Opts) {
+  return synthesizeUpdate(S.Topo, S.Initial, S.Final, S.classes(),
+                          S.buildProperty(FF), Checker, Opts);
+}

@@ -1,0 +1,107 @@
+//===- synth/OrderUpdate.h - The ORDERUPDATE algorithm ---------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ORDERUPDATE (Fig. 4): counterexample-guided depth-first search over
+/// simple update sequences, with the optimizations of §4.2:
+///
+///  (A) counterexample pruning — the V (visited) and W (wrong) sets over
+///      configurations, where W entries are partial assignments to the
+///      switches occurring in a counterexample trace;
+///  (B) early search termination — ordering constraints mined from
+///      counterexamples are fed to an incremental SAT solver
+///      (synth/EarlyTermination.h); a contradiction stops the search;
+///  (C) wait removal — a post-processing pass that drops waits shown
+///      unnecessary by reachability analysis (synth/WaitRemoval.h).
+///
+/// Both granularities of §3.1 are supported: switch-granularity updates
+/// replace a whole forwarding table; rule-granularity updates replace one
+/// traffic class's rules on one switch, which succeeds on instances where
+/// no switch-granularity order exists (Fig. 8(h)/(i)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SYNTH_ORDERUPDATE_H
+#define NETUPD_SYNTH_ORDERUPDATE_H
+
+#include "mc/CheckerBackend.h"
+#include "synth/Command.h"
+#include "topo/Scenario.h"
+
+#include <cstdint>
+#include <string>
+
+namespace netupd {
+
+/// Knobs for ORDERUPDATE; the defaults enable every optimization the
+/// paper's tool uses. Disabling individual flags drives the ablation
+/// benchmarks.
+struct SynthOptions {
+  bool CexPruning = true;
+  bool EarlyTermination = true;
+  bool WaitRemoval = true;
+  bool RuleGranularity = false;
+  /// Abort knobs (0 = unlimited); the paper used a 10-minute timeout.
+  uint64_t MaxCheckCalls = 0;
+  double TimeoutSeconds = 0.0;
+};
+
+/// Search statistics reported alongside a result.
+struct SynthStats {
+  uint64_t CheckCalls = 0;
+  uint64_t VisitedPrunes = 0;
+  uint64_t CexPrunes = 0;
+  uint64_t SatClauses = 0;
+  bool EarlyTerminated = false;
+  unsigned WaitsBeforeRemoval = 0;
+  unsigned WaitsAfterRemoval = 0;
+  double SynthSeconds = 0.0;
+  double WaitRemovalSeconds = 0.0;
+};
+
+/// Outcome of a synthesis run.
+enum class SynthStatus {
+  /// A correct careful sequence was found.
+  Success,
+  /// No simple careful sequence exists (exhaustive search or SAT proof).
+  Impossible,
+  /// The initial configuration already violates the property, so no
+  /// command sequence can be correct (Def. 3 quantifies over all traces,
+  /// including pre-update ones).
+  InitialViolation,
+  /// Gave up due to TimeoutSeconds / MaxCheckCalls.
+  Aborted
+};
+
+/// A synthesis result: on Success, Commands is the careful sequence
+/// (updates separated by waits, minus those the wait-removal pass proved
+/// unnecessary).
+struct SynthResult {
+  SynthStatus Status = SynthStatus::Impossible;
+  CommandSeq Commands;
+  SynthStats Stats;
+
+  bool ok() const { return Status == SynthStatus::Success; }
+};
+
+/// Runs ORDERUPDATE for the transition \p Initial -> \p Final under
+/// property \p Phi, using \p Checker as the model-checking backend.
+SynthResult synthesizeUpdate(const Topology &Topo, const Config &Initial,
+                             const Config &Final,
+                             const std::vector<TrafficClass> &Classes,
+                             Formula Phi, CheckerBackend &Checker,
+                             const SynthOptions &Opts = {});
+
+/// Convenience overload for generated scenarios: builds the property in
+/// \p FF and forwards to the main entry point.
+SynthResult synthesizeUpdate(const Scenario &S, FormulaFactory &FF,
+                             CheckerBackend &Checker,
+                             const SynthOptions &Opts = {});
+
+} // namespace netupd
+
+#endif // NETUPD_SYNTH_ORDERUPDATE_H

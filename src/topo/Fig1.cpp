@@ -1,0 +1,61 @@
+//===- topo/Fig1.cpp - The paper's Figure 1 example network ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "topo/Fig1.h"
+
+#include "support/Strings.h"
+
+using namespace netupd;
+
+Fig1Network netupd::buildFig1() {
+  Fig1Network N;
+  Topology &T = N.Topo;
+
+  N.C1 = T.addSwitch("C1");
+  N.C2 = T.addSwitch("C2");
+  for (unsigned I = 0; I != 4; ++I)
+    N.A[I] = T.addSwitch(format("A%u", I + 1));
+  for (unsigned I = 0; I != 4; ++I)
+    N.T[I] = T.addSwitch(format("T%u", I + 1));
+  for (unsigned I = 0; I != 4; ++I)
+    N.H[I] = T.addHost(format("H%u", I + 1));
+
+  // Pods: T1,T2 hang off A1,A2; T3,T4 hang off A3,A4. Every aggregation
+  // switch reaches both cores.
+  for (unsigned I = 0; I != 2; ++I)
+    for (unsigned J = 0; J != 2; ++J)
+      T.connectSwitches(N.T[I], N.A[J]);
+  for (unsigned I = 2; I != 4; ++I)
+    for (unsigned J = 2; J != 4; ++J)
+      T.connectSwitches(N.T[I], N.A[J]);
+  for (unsigned J = 0; J != 4; ++J) {
+    T.connectSwitches(N.A[J], N.C1);
+    T.connectSwitches(N.A[J], N.C2);
+  }
+  for (unsigned I = 0; I != 4; ++I)
+    N.HostPort[I] = T.attachHost(N.H[I], N.T[I]);
+
+  N.FlowH1H3.Hdr = makeHeader(/*Src=*/1, /*Dst=*/3);
+  N.FlowH1H3.Name = "h1->h3";
+
+  N.Red = Config(T.numSwitches());
+  std::vector<SwitchId> RedPath = {N.T[0], N.A[0], N.C1, N.A[2], N.T[2]};
+  installPath(T, N.Red, N.FlowH1H3, RedPath, N.H[2]);
+
+  // Green and Blue are obtained by *modifying* the red configuration, as
+  // an operator would: stale rules on bypassed switches stay installed
+  // (the paper updates only A1 and C2 for red -> green, and A2, A4, T1,
+  // C1 for red -> blue).
+  N.Green = N.Red;
+  std::vector<SwitchId> GreenPath = {N.T[0], N.A[0], N.C2, N.A[2], N.T[2]};
+  installPath(T, N.Green, N.FlowH1H3, GreenPath, N.H[2]);
+
+  N.Blue = N.Red;
+  std::vector<SwitchId> BluePath = {N.T[0], N.A[1], N.C1, N.A[3], N.T[2]};
+  installPath(T, N.Blue, N.FlowH1H3, BluePath, N.H[2]);
+  return N;
+}

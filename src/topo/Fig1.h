@@ -1,0 +1,54 @@
+//===- topo/Fig1.h - The paper's Figure 1 example network ------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The running example of §2: a small two-pod datacenter with core
+/// switches C1/C2, aggregation switches A1..A4, top-of-rack switches
+/// T1..T4, and hosts H1..H4, plus the three configurations discussed in
+/// the paper for the H1 -> H3 flow:
+///
+///   red   : T1 - A1 - C1 - A3 - T3   (initial)
+///   green : T1 - A1 - C2 - A3 - T3   (shift away from C1)
+///   blue  : T1 - A2 - C1 - A4 - T3   (shift to the other aggregation pair)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_TOPO_FIG1_H
+#define NETUPD_TOPO_FIG1_H
+
+#include "net/Config.h"
+
+namespace netupd {
+
+/// The Figure 1 network, its interesting switches/hosts, and the three
+/// path configurations.
+struct Fig1Network {
+  Topology Topo;
+  SwitchId C1, C2;
+  SwitchId A[4]; // A1..A4 at indices 0..3.
+  SwitchId T[4]; // T1..T4.
+  HostId H[4];   // H1..H4.
+  PortId HostPort[4];
+
+  TrafficClass FlowH1H3;
+
+  Config Red;   // Initial.
+  Config Green; // Final for the ordering example.
+  Config Blue;  // Final for the waypoint/wait example.
+
+  /// Global port of H1's attachment (property source).
+  PortId srcPort() const { return HostPort[0]; }
+  /// Global port of H3's attachment (property destination).
+  PortId dstPort() const { return HostPort[2]; }
+};
+
+/// Builds the Figure 1 network and all three configurations.
+Fig1Network buildFig1();
+
+} // namespace netupd
+
+#endif // NETUPD_TOPO_FIG1_H

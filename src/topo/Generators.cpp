@@ -1,0 +1,129 @@
+//===- topo/Generators.cpp - Topology generators ---------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "topo/Generators.h"
+
+#include "support/Strings.h"
+
+#include <cassert>
+#include <cmath>
+#include <set>
+
+using namespace netupd;
+
+Topology netupd::buildFatTree(unsigned K) {
+  assert(K >= 2 && K % 2 == 0 && "fat tree arity must be even");
+  Topology T;
+  unsigned Half = K / 2;
+
+  // Cores first, then per-pod aggregation and edge switches.
+  std::vector<SwitchId> Cores;
+  for (unsigned C = 0; C != Half * Half; ++C)
+    Cores.push_back(T.addSwitch(format("core%u", C)));
+
+  for (unsigned Pod = 0; Pod != K; ++Pod) {
+    std::vector<SwitchId> Aggs, Edges;
+    for (unsigned A = 0; A != Half; ++A)
+      Aggs.push_back(T.addSwitch(format("agg%u_%u", Pod, A)));
+    for (unsigned E = 0; E != Half; ++E)
+      Edges.push_back(T.addSwitch(format("edge%u_%u", Pod, E)));
+
+    // Full bipartite edge-to-aggregation wiring inside the pod.
+    for (SwitchId A : Aggs)
+      for (SwitchId E : Edges)
+        T.connectSwitches(A, E);
+
+    // Aggregation switch A of each pod talks to core group A.
+    for (unsigned A = 0; A != Half; ++A)
+      for (unsigned C = 0; C != Half; ++C)
+        T.connectSwitches(Aggs[A], Cores[A * Half + C]);
+  }
+  return T;
+}
+
+Topology netupd::buildSmallWorld(unsigned N, unsigned K, double P, Rng &R) {
+  assert(N >= 4 && "small-world graphs need at least 4 nodes");
+  assert(K >= 2 && K % 2 == 0 && K < N && "ring degree must be even and < N");
+
+  Topology T;
+  for (unsigned I = 0; I != N; ++I)
+    T.addSwitch(format("sw%u", I));
+
+  std::set<std::pair<unsigned, unsigned>> Edges;
+  auto CanonicalEdge = [](unsigned A, unsigned B) {
+    return A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+  };
+
+  // Ring lattice: node i to i+1 .. i+K/2 (mod N). The immediate ring
+  // (offset 1) is kept un-rewired so the graph stays connected.
+  for (unsigned I = 0; I != N; ++I)
+    Edges.insert(CanonicalEdge(I, (I + 1) % N));
+  for (unsigned Offset = 2; Offset <= K / 2; ++Offset) {
+    for (unsigned I = 0; I != N; ++I) {
+      unsigned A = I, B = (I + Offset) % N;
+      if (R.nextDouble() < P) {
+        // Rewire: replace B with a random non-neighbour.
+        for (unsigned Tries = 0; Tries != 16; ++Tries) {
+          unsigned C = static_cast<unsigned>(R.nextBelow(N));
+          if (C == A || Edges.count(CanonicalEdge(A, C)))
+            continue;
+          B = C;
+          break;
+        }
+      }
+      if (A != B)
+        Edges.insert(CanonicalEdge(A, B));
+    }
+  }
+
+  for (const auto &[A, B] : Edges)
+    T.connectSwitches(A, B);
+  return T;
+}
+
+unsigned netupd::zooLikeSize(unsigned Index) {
+  assert(Index < NumZooLike && "zoo index out of range");
+  // Log-uniform over [8, 700], deterministic in the index. The Topology
+  // Zoo's size distribution is heavy-tailed with a median around 20-30
+  // nodes; a log-uniform spread reproduces that shape.
+  Rng R(0x5eed0000u + Index);
+  double LogLo = std::log(8.0), LogHi = std::log(700.0);
+  double X = std::exp(LogLo + (LogHi - LogLo) * R.nextDouble());
+  return static_cast<unsigned>(std::lround(X));
+}
+
+Topology netupd::buildZooLike(unsigned Index) {
+  assert(Index < NumZooLike && "zoo index out of range");
+  unsigned N = zooLikeSize(Index);
+  Rng R(0xb10b0000u + Index);
+
+  Topology T;
+  for (unsigned I = 0; I != N; ++I)
+    T.addSwitch(format("sw%u", I));
+
+  std::set<std::pair<unsigned, unsigned>> Edges;
+  auto CanonicalEdge = [](unsigned A, unsigned B) {
+    return A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+  };
+
+  // Connected ring backbone plus random chords: mean degree ~2.7, matching
+  // the sparse WAN graphs of the Zoo.
+  for (unsigned I = 0; I != N; ++I)
+    Edges.insert(CanonicalEdge(I, (I + 1) % N));
+  unsigned NumChords = std::max<unsigned>(1, static_cast<unsigned>(N * 0.35));
+  for (unsigned C = 0; C != NumChords; ++C) {
+    unsigned A = static_cast<unsigned>(R.nextBelow(N));
+    unsigned B = static_cast<unsigned>(R.nextBelow(N));
+    if (A == B)
+      continue;
+    Edges.insert(CanonicalEdge(A, B));
+  }
+
+  for (const auto &[A, B] : Edges)
+    T.connectSwitches(A, B);
+  return T;
+}

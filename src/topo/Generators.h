@@ -1,0 +1,58 @@
+//===- topo/Generators.h - Topology generators -----------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the three topology families of §6:
+///
+///  - FatTree(k)     [Al-Fares et al., SIGCOMM 2008]: k pods of k/2 edge
+///                   and k/2 aggregation switches plus (k/2)^2 cores;
+///  - Small-World    [Newman/Strogatz/Watts 2001]: a Watts-Strogatz ring
+///                   lattice with random rewiring;
+///  - Zoo-like WANs  : stand-ins for the 261 Topology Zoo networks (the
+///                   GML dataset is not redistributable here); ring-plus-
+///                   chord graphs whose size and mean-degree distribution
+///                   matches published Zoo statistics. See DESIGN.md §2.
+///
+/// All generators emit switch-level topologies (bidirectional switch-to-
+/// switch links); hosts are attached later by the scenario builders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_TOPO_GENERATORS_H
+#define NETUPD_TOPO_GENERATORS_H
+
+#include "net/Topology.h"
+#include "support/Random.h"
+
+namespace netupd {
+
+/// Builds a k-ary fat tree; \p K must be even and >= 2. The switch count
+/// is 5k^2/4 (k^2/2 edge + k^2/2 aggregation + k^2/4 core).
+Topology buildFatTree(unsigned K);
+
+/// Builds a Watts-Strogatz small-world graph over \p N switches: each node
+/// is wired to its \p K nearest ring neighbours (K even), then each edge is
+/// rewired to a random endpoint with probability \p P. The graph stays
+/// connected (the ring backbone is preserved).
+Topology buildSmallWorld(unsigned N, unsigned K, double P, Rng &R);
+
+/// Number of Zoo-like topologies (matches the 261 networks of the
+/// Topology Zoo dataset).
+inline constexpr unsigned NumZooLike = 261;
+
+/// Builds the \p Index-th Zoo-like WAN (0 <= Index < NumZooLike),
+/// deterministically: a connected ring of n switches plus ~0.35n random
+/// chords, with n drawn from a log-uniform spread over [8, 700].
+Topology buildZooLike(unsigned Index);
+
+/// Returns the number of switches the \p Index-th Zoo-like WAN will have
+/// without building it (used by benches to sort by size).
+unsigned zooLikeSize(unsigned Index);
+
+} // namespace netupd
+
+#endif // NETUPD_TOPO_GENERATORS_H

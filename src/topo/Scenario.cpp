@@ -1,0 +1,384 @@
+//===- topo/Scenario.cpp - Update scenarios --------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "topo/Scenario.h"
+
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <queue>
+
+using namespace netupd;
+
+std::vector<TrafficClass> Scenario::classes() const {
+  std::vector<TrafficClass> Out;
+  Out.reserve(Flows.size());
+  for (const FlowSpec &F : Flows)
+    Out.push_back(F.Class);
+  return Out;
+}
+
+Formula Scenario::buildProperty(FormulaFactory &FF) const {
+  std::vector<Formula> Parts;
+  for (const FlowSpec &F : Flows) {
+    // With several flows in one network, scope each property to its own
+    // traffic class (see ltl/Properties.h).
+    Formula Guard = Flows.size() > 1 ? classGuard(FF, F.Class) : nullptr;
+    switch (Kind) {
+    case PropertyKind::Reachability:
+      Parts.push_back(
+          reachabilityProperty(FF, F.SrcPort, F.DstPort, Guard));
+      break;
+    case PropertyKind::Waypoint:
+      assert(!F.Waypoints.empty() && "waypoint flow without a waypoint");
+      Parts.push_back(waypointProperty(
+          FF, F.SrcPort, Prop::onSwitch(F.Waypoints[0]), F.DstPort, Guard));
+      break;
+    case PropertyKind::ServiceChain: {
+      std::vector<Prop> Ways;
+      for (SwitchId W : F.Waypoints)
+        Ways.push_back(Prop::onSwitch(W));
+      Parts.push_back(
+          serviceChainProperty(FF, F.SrcPort, Ways, F.DstPort, Guard));
+      break;
+    }
+    }
+  }
+  return FF.conjAll(Parts);
+}
+
+unsigned netupd::numUpdatingSwitches(const Scenario &S) {
+  return static_cast<unsigned>(diffSwitches(S.Initial, S.Final).size());
+}
+
+namespace {
+
+/// Switch-level adjacency extracted from the (bidirectional) links.
+std::vector<std::vector<SwitchId>> switchAdjacency(const Topology &T) {
+  std::vector<std::vector<SwitchId>> Adj(T.numSwitches());
+  for (const Link &L : T.links())
+    if (!L.From.isHost() && !L.To.isHost())
+      Adj[L.From.Switch].push_back(L.To.Switch);
+  for (auto &Neighbours : Adj) {
+    std::sort(Neighbours.begin(), Neighbours.end());
+    Neighbours.erase(std::unique(Neighbours.begin(), Neighbours.end()),
+                     Neighbours.end());
+  }
+  return Adj;
+}
+
+using Adjacency = std::vector<std::vector<SwitchId>>;
+
+/// Shortest path avoiding \p Forbidden; empty if none exists.
+std::vector<SwitchId> bfsPath(const Adjacency &Adj, SwitchId Src,
+                              SwitchId Dst,
+                              const std::vector<uint8_t> &Forbidden) {
+  std::vector<int> Parent(Adj.size(), -1);
+  std::queue<SwitchId> Queue;
+  Queue.push(Src);
+  Parent[Src] = static_cast<int>(Src);
+  while (!Queue.empty()) {
+    SwitchId Cur = Queue.front();
+    Queue.pop();
+    if (Cur == Dst)
+      break;
+    for (SwitchId Next : Adj[Cur]) {
+      if (Parent[Next] >= 0 || Forbidden[Next])
+        continue;
+      Parent[Next] = static_cast<int>(Cur);
+      Queue.push(Next);
+    }
+  }
+  if (Parent[Dst] < 0)
+    return {};
+  std::vector<SwitchId> Path;
+  for (SwitchId Cur = Dst;; Cur = static_cast<SwitchId>(Parent[Cur])) {
+    Path.push_back(Cur);
+    if (Cur == Src)
+      break;
+  }
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+/// Randomized DFS path from Src to Dst avoiding \p Forbidden; meanders, so
+/// it tends to be long — this drives the "large diamond" runs of Fig. 8.
+std::vector<SwitchId> randomWalkPath(const Adjacency &Adj, SwitchId Src,
+                                     SwitchId Dst,
+                                     const std::vector<uint8_t> &Forbidden,
+                                     Rng &R) {
+  std::vector<uint8_t> Visited(Adj.size(), 0);
+  std::vector<SwitchId> Path;
+  bool Found = false;
+
+  std::function<void(SwitchId)> Walk = [&](SwitchId Cur) {
+    if (Found)
+      return;
+    Visited[Cur] = 1;
+    Path.push_back(Cur);
+    if (Cur == Dst) {
+      Found = true;
+      return;
+    }
+    std::vector<SwitchId> Neighbours = Adj[Cur];
+    R.shuffle(Neighbours);
+    for (SwitchId Next : Neighbours) {
+      if (Visited[Next] || Forbidden[Next])
+        continue;
+      Walk(Next);
+      if (Found)
+        return;
+    }
+    Path.pop_back();
+  };
+
+  Walk(Src);
+  return Found ? Path : std::vector<SwitchId>();
+}
+
+/// BFS distances from \p Src over the whole graph.
+std::vector<int> bfsDistances(const Adjacency &Adj, SwitchId Src) {
+  std::vector<int> Dist(Adj.size(), -1);
+  std::queue<SwitchId> Queue;
+  Dist[Src] = 0;
+  Queue.push(Src);
+  while (!Queue.empty()) {
+    SwitchId Cur = Queue.front();
+    Queue.pop();
+    for (SwitchId Next : Adj[Cur])
+      if (Dist[Next] < 0) {
+        Dist[Next] = Dist[Cur] + 1;
+        Queue.push(Next);
+      }
+  }
+  return Dist;
+}
+
+/// A diamond skeleton: common prefix (Src..Joint), two node-disjoint
+/// branches (Joint..Dst), each with at least one interior switch.
+struct Diamond {
+  std::vector<SwitchId> Prefix;  // Src .. Joint inclusive.
+  std::vector<SwitchId> Branch1; // Joint .. Dst inclusive.
+  std::vector<SwitchId> Branch2; // Joint .. Dst inclusive.
+
+  SwitchId src() const { return Prefix.front(); }
+  SwitchId joint() const { return Prefix.back(); }
+  SwitchId dst() const { return Branch1.back(); }
+
+  std::vector<SwitchId> initialPath() const {
+    std::vector<SwitchId> P = Prefix;
+    P.insert(P.end(), Branch1.begin() + 1, Branch1.end());
+    return P;
+  }
+  std::vector<SwitchId> finalPath() const {
+    std::vector<SwitchId> P = Prefix;
+    P.insert(P.end(), Branch2.begin() + 1, Branch2.end());
+    return P;
+  }
+};
+
+/// Tries to carve one diamond out of the graph; avoids switches marked in
+/// \p Used so multiple flows get node-disjoint diamonds.
+std::optional<Diamond> findDiamond(const Adjacency &Adj, Rng &R,
+                                   bool LongPaths, unsigned MaxTries,
+                                   const std::vector<uint8_t> &Used) {
+  unsigned N = static_cast<unsigned>(Adj.size());
+  for (unsigned Try = 0; Try != MaxTries; ++Try) {
+    SwitchId Src = static_cast<SwitchId>(R.nextBelow(N));
+    if (Used[Src])
+      continue;
+
+    // Pick a destination reasonably far away (>= 3 hops when possible).
+    std::vector<int> Dist = bfsDistances(Adj, Src);
+    std::vector<SwitchId> Candidates;
+    for (SwitchId S = 0; S != N; ++S)
+      if (!Used[S] && Dist[S] >= 3)
+        Candidates.push_back(S);
+    if (Candidates.empty())
+      continue;
+    SwitchId Dst = Candidates[R.nextBelow(Candidates.size())];
+
+    std::vector<uint8_t> Forbidden = Used;
+    std::vector<SwitchId> PathA =
+        LongPaths ? randomWalkPath(Adj, Src, Dst, Forbidden, R)
+                  : bfsPath(Adj, Src, Dst, Forbidden);
+    // Need room for a prefix (>= 1 edge is optional) and a branch with an
+    // interior node: at least 4 switches overall.
+    if (PathA.size() < 4)
+      continue;
+
+    // The joint sits about a third of the way in; the branch keeps >= 2
+    // edges (>= 1 interior switch).
+    size_t JIdx = std::clamp<size_t>(PathA.size() / 3, 1, PathA.size() - 3);
+
+    Diamond D;
+    D.Prefix.assign(PathA.begin(), PathA.begin() + JIdx + 1);
+    D.Branch1.assign(PathA.begin() + JIdx, PathA.end());
+
+    // Forbid everything on path A except the joint and the destination, so
+    // branch 2 is node-disjoint from branch 1 and from the prefix.
+    for (SwitchId S : PathA)
+      Forbidden[S] = 1;
+    Forbidden[D.joint()] = 0;
+    Forbidden[Dst] = 0;
+
+    D.Branch2 = LongPaths
+                    ? randomWalkPath(Adj, D.joint(), Dst, Forbidden, R)
+                    : bfsPath(Adj, D.joint(), Dst, Forbidden);
+    if (D.Branch2.size() < 3)
+      continue; // No disjoint alternative with an interior switch.
+    return D;
+  }
+  return std::nullopt;
+}
+
+/// Marks every switch of \p D as used.
+void markUsed(const Diamond &D, std::vector<uint8_t> &Used) {
+  for (SwitchId S : D.Prefix)
+    Used[S] = 1;
+  for (SwitchId S : D.Branch1)
+    Used[S] = 1;
+  for (SwitchId S : D.Branch2)
+    Used[S] = 1;
+}
+
+std::vector<SwitchId> reversed(std::vector<SwitchId> P) {
+  std::reverse(P.begin(), P.end());
+  return P;
+}
+
+} // namespace
+
+std::optional<Scenario>
+netupd::makeDiamondScenario(const Topology &Base, Rng &R, PropertyKind Kind,
+                            const DiamondOptions &Opts) {
+  Adjacency Adj = switchAdjacency(Base);
+  std::vector<uint8_t> Used(Base.numSwitches(), 0);
+
+  Scenario S;
+  S.Topo = Base;
+  S.Kind = Kind;
+  S.Initial = Config(Base.numSwitches());
+  S.Final = Config(Base.numSwitches());
+
+  for (unsigned FlowIdx = 0; FlowIdx != Opts.NumFlows; ++FlowIdx) {
+    std::optional<Diamond> D =
+        findDiamond(Adj, R, Opts.LongPaths, Opts.MaxTries, Used);
+    if (!D)
+      return std::nullopt;
+    if (Opts.DisjointFlows)
+      markUsed(*D, Used);
+
+    FlowSpec Flow;
+    Flow.Class.Hdr = makeHeader(2 * FlowIdx + 1, 2 * FlowIdx + 2);
+    Flow.Class.Name = format("f%u", FlowIdx);
+    Flow.SrcHost = S.Topo.addHost(format("hS%u", FlowIdx));
+    Flow.DstHost = S.Topo.addHost(format("hD%u", FlowIdx));
+    Flow.SrcPort = S.Topo.attachHost(Flow.SrcHost, D->src());
+    Flow.DstPort = S.Topo.attachHost(Flow.DstHost, D->dst());
+    Flow.InitialPath = D->initialPath();
+    Flow.FinalPath = D->finalPath();
+
+    // Waypoints come from the prefix (traversed by every configuration):
+    // the joint for Waypoint, up to three prefix switches for chains.
+    if (Kind == PropertyKind::Waypoint) {
+      Flow.Waypoints.push_back(D->joint());
+    } else if (Kind == PropertyKind::ServiceChain) {
+      if (D->Prefix.size() >= 3)
+        Flow.Waypoints.push_back(D->Prefix[D->Prefix.size() / 2]);
+      Flow.Waypoints.push_back(D->joint());
+    }
+
+    installPath(S.Topo, S.Initial, Flow.Class, Flow.InitialPath,
+                Flow.DstHost);
+    installPath(S.Topo, S.Final, Flow.Class, Flow.FinalPath, Flow.DstHost);
+    S.Flows.push_back(std::move(Flow));
+  }
+  return S;
+}
+
+std::optional<Scenario>
+netupd::makeDoubleDiamondScenario(const Topology &Base, Rng &R,
+                                  const DiamondOptions &Opts,
+                                  PropertyKind Kind) {
+  Adjacency Adj = switchAdjacency(Base);
+  std::vector<uint8_t> Used(Base.numSwitches(), 0);
+  std::optional<Diamond> D =
+      findDiamond(Adj, R, Opts.LongPaths, Opts.MaxTries, Used);
+  if (!D)
+    return std::nullopt;
+
+  Scenario S;
+  S.Topo = Base;
+  S.Kind = Kind;
+  S.Initial = Config(Base.numSwitches());
+  S.Final = Config(Base.numSwitches());
+
+  HostId HS = S.Topo.addHost("hS");
+  HostId HD = S.Topo.addHost("hD");
+  PortId PS = S.Topo.attachHost(HS, D->src());
+  PortId PD = S.Topo.attachHost(HD, D->dst());
+
+  // Forward flow: branch 1 initially, branch 2 finally.
+  FlowSpec Fwd;
+  Fwd.Class.Hdr = makeHeader(1, 2);
+  Fwd.Class.Name = "fwd";
+  Fwd.SrcHost = HS;
+  Fwd.DstHost = HD;
+  Fwd.SrcPort = PS;
+  Fwd.DstPort = PD;
+  Fwd.InitialPath = D->initialPath();
+  Fwd.FinalPath = D->finalPath();
+
+  // Reverse flow: branch 2 initially, branch 1 finally — crossed with the
+  // forward flow, which creates the circular ordering dependency that
+  // makes switch-granularity updates impossible (Fig. 8(h)).
+  FlowSpec Rev;
+  Rev.Class.Hdr = makeHeader(3, 4);
+  Rev.Class.Name = "rev";
+  Rev.SrcHost = HD;
+  Rev.DstHost = HS;
+  Rev.SrcPort = PD;
+  Rev.DstPort = PS;
+  {
+    std::vector<SwitchId> RevPrefix = reversed(D->Prefix); // Joint .. Src.
+    Rev.InitialPath = reversed(D->Branch2);                // Dst .. Joint.
+    Rev.InitialPath.insert(Rev.InitialPath.end(), RevPrefix.begin() + 1,
+                           RevPrefix.end());
+    Rev.FinalPath = reversed(D->Branch1);
+    Rev.FinalPath.insert(Rev.FinalPath.end(), RevPrefix.begin() + 1,
+                         RevPrefix.end());
+  }
+
+  // Waypoints for the non-reachability kinds: the joint (and a prefix
+  // switch for chains) lies on every path of both flows, in the order
+  // each flow traverses it.
+  if (Kind == PropertyKind::Waypoint) {
+    Fwd.Waypoints = {D->joint()};
+    Rev.Waypoints = {D->joint()};
+  } else if (Kind == PropertyKind::ServiceChain) {
+    if (D->Prefix.size() >= 3) {
+      SwitchId Mid = D->Prefix[D->Prefix.size() / 2];
+      Fwd.Waypoints = {Mid, D->joint()}; // Src-side first.
+      Rev.Waypoints = {D->joint(), Mid}; // Reverse traversal order.
+    } else {
+      Fwd.Waypoints = {D->joint()};
+      Rev.Waypoints = {D->joint()};
+    }
+  }
+
+  installPath(S.Topo, S.Initial, Fwd.Class, Fwd.InitialPath, Fwd.DstHost);
+  installPath(S.Topo, S.Final, Fwd.Class, Fwd.FinalPath, Fwd.DstHost);
+  installPath(S.Topo, S.Initial, Rev.Class, Rev.InitialPath, Rev.DstHost);
+  installPath(S.Topo, S.Final, Rev.Class, Rev.FinalPath, Rev.DstHost);
+
+  S.Flows.push_back(std::move(Fwd));
+  S.Flows.push_back(std::move(Rev));
+  return S;
+}

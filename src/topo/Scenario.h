@@ -1,0 +1,105 @@
+//===- topo/Scenario.h - Update scenarios ----------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Update scenarios in the style of the paper's evaluation (§6): pairs of
+/// nodes connected by disjoint initial/final paths ("diamonds"), with one
+/// of the three property families asserted per pair, and the adversarial
+/// "double diamond" construction of Fig. 8(h) where the second flow routes
+/// in the opposite direction and no switch-granularity order exists.
+///
+/// A diamond here is: source switch s, a common prefix to a joint switch
+/// j, then two node-disjoint branches from j to the destination d. The
+/// initial configuration routes the flow over branch 1, the final one over
+/// branch 2. Waypoint properties use the joint (on both branches);
+/// service chains use prefix switches, which every configuration
+/// traverses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_TOPO_SCENARIO_H
+#define NETUPD_TOPO_SCENARIO_H
+
+#include "ltl/Properties.h"
+#include "net/Config.h"
+#include "support/Random.h"
+
+#include <optional>
+#include <vector>
+
+namespace netupd {
+
+/// Which of the three §6 property families a scenario asserts.
+enum class PropertyKind { Reachability, Waypoint, ServiceChain };
+
+/// One flow (one "diamond") of a scenario.
+struct FlowSpec {
+  TrafficClass Class;
+  HostId SrcHost = 0, DstHost = 0;
+  PortId SrcPort = InvalidPort, DstPort = InvalidPort;
+  /// Waypoint switches (1 for Waypoint, several for ServiceChain, none
+  /// for Reachability), in required visiting order.
+  std::vector<SwitchId> Waypoints;
+  /// The initial and final switch paths, for diagnostics and baselines.
+  std::vector<SwitchId> InitialPath, FinalPath;
+};
+
+/// A complete synthesis problem instance.
+struct Scenario {
+  Topology Topo;
+  Config Initial, Final;
+  std::vector<FlowSpec> Flows;
+  PropertyKind Kind = PropertyKind::Reachability;
+
+  /// The traffic classes, one per flow, in flow order.
+  std::vector<TrafficClass> classes() const;
+
+  /// The conjunction of the per-flow properties. Guards with the traffic
+  /// class whenever there is more than one flow (see ltl/Properties.h).
+  Formula buildProperty(FormulaFactory &FF) const;
+};
+
+/// Options for the diamond generators.
+struct DiamondOptions {
+  /// Number of independent (source, destination) pairs.
+  unsigned NumFlows = 1;
+  /// Grow branches with a randomized walk instead of shortest paths; used
+  /// by the Fig. 8(g) scalability runs, where the largest diamonds update
+  /// over a thousand switches.
+  bool LongPaths = false;
+  /// Keep different flows' diamonds node-disjoint. Turning this off packs
+  /// many flows into one network (rules pile up on shared switches), the
+  /// regime of the rule-granularity experiments (Fig. 7(d-f)).
+  bool DisjointFlows = true;
+  /// Retry budget for finding disjoint branches.
+  unsigned MaxTries = 64;
+};
+
+/// Builds a diamond scenario over (a copy of) \p Base, or std::nullopt if
+/// no suitable diamond exists within the retry budget.
+std::optional<Scenario> makeDiamondScenario(const Topology &Base, Rng &R,
+                                            PropertyKind Kind,
+                                            const DiamondOptions &Opts = {});
+
+/// Builds the Fig. 8(h) adversarial instance: one diamond carrying two
+/// flows in opposite directions, with initial/final branch assignments
+/// crossed so that every switch-granularity order breaks the property for
+/// one of the flows, while rule-granularity orders exist. \p Kind selects
+/// the asserted property family; waypoints (joint and prefix switches)
+/// lie on every path of both flows.
+std::optional<Scenario>
+makeDoubleDiamondScenario(const Topology &Base, Rng &R,
+                          const DiamondOptions &Opts = {},
+                          PropertyKind Kind = PropertyKind::Reachability);
+
+/// Counts the switches whose tables differ between the scenario's initial
+/// and final configurations — the "switches updating" measure of Fig. 8.
+unsigned numUpdatingSwitches(const Scenario &S);
+
+} // namespace netupd
+
+#endif // NETUPD_TOPO_SCENARIO_H

@@ -1,0 +1,184 @@
+//===- tests/bdd_test.cpp - BDD package tests ------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace netupd;
+using namespace netupd::bdd;
+
+TEST(BddTest, TerminalsAndLiterals) {
+  Manager M(3);
+  EXPECT_EQ(M.andOp(True, True), True);
+  EXPECT_EQ(M.andOp(True, False), False);
+  EXPECT_EQ(M.orOp(False, False), False);
+  EXPECT_EQ(M.notOp(False), True);
+
+  NodeRef X = M.var(0);
+  EXPECT_EQ(M.notOp(M.notOp(X)), X);
+  EXPECT_EQ(M.andOp(X, M.notOp(X)), False);
+  EXPECT_EQ(M.orOp(X, M.notOp(X)), True);
+  EXPECT_EQ(M.nvar(0), M.notOp(X));
+}
+
+TEST(BddTest, CanonicityAcrossConstructionOrders) {
+  Manager M(4);
+  NodeRef A = M.var(0), B = M.var(1), C = M.var(2);
+  // (A & B) | C built two ways.
+  NodeRef F1 = M.orOp(M.andOp(A, B), C);
+  NodeRef F2 = M.orOp(C, M.andOp(B, A));
+  EXPECT_EQ(F1, F2);
+  // De Morgan.
+  EXPECT_EQ(M.notOp(M.andOp(A, B)),
+            M.orOp(M.notOp(A), M.notOp(B)));
+}
+
+namespace {
+
+/// A random expression tree evaluated both as a BDD and directly.
+struct Expr {
+  enum Kind { Var, And, Or, Not, Xor } K;
+  unsigned V = 0;
+  std::unique_ptr<Expr> L, R;
+};
+
+std::unique_ptr<Expr> randomExpr(Rng &Rg, unsigned Depth, unsigned NumVars) {
+  auto E = std::make_unique<Expr>();
+  if (Depth == 0 || Rg.nextBelow(4) == 0) {
+    E->K = Expr::Var;
+    E->V = static_cast<unsigned>(Rg.nextBelow(NumVars));
+    return E;
+  }
+  switch (Rg.nextBelow(4)) {
+  case 0:
+    E->K = Expr::And;
+    break;
+  case 1:
+    E->K = Expr::Or;
+    break;
+  case 2:
+    E->K = Expr::Xor;
+    break;
+  default:
+    E->K = Expr::Not;
+    break;
+  }
+  E->L = randomExpr(Rg, Depth - 1, NumVars);
+  if (E->K != Expr::Not)
+    E->R = randomExpr(Rg, Depth - 1, NumVars);
+  return E;
+}
+
+NodeRef toBdd(Manager &M, const Expr &E) {
+  switch (E.K) {
+  case Expr::Var:
+    return M.var(E.V);
+  case Expr::And:
+    return M.andOp(toBdd(M, *E.L), toBdd(M, *E.R));
+  case Expr::Or:
+    return M.orOp(toBdd(M, *E.L), toBdd(M, *E.R));
+  case Expr::Xor:
+    return M.xorOp(toBdd(M, *E.L), toBdd(M, *E.R));
+  case Expr::Not:
+    return M.notOp(toBdd(M, *E.L));
+  }
+  return False;
+}
+
+bool evalExpr(const Expr &E, const std::vector<uint8_t> &A) {
+  switch (E.K) {
+  case Expr::Var:
+    return A[E.V];
+  case Expr::And:
+    return evalExpr(*E.L, A) && evalExpr(*E.R, A);
+  case Expr::Or:
+    return evalExpr(*E.L, A) || evalExpr(*E.R, A);
+  case Expr::Xor:
+    return evalExpr(*E.L, A) != evalExpr(*E.R, A);
+  case Expr::Not:
+    return !evalExpr(*E.L, A);
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(BddTest, MatchesTruthTables) {
+  Rng Rg(17);
+  const unsigned NumVars = 8;
+  for (int Round = 0; Round != 40; ++Round) {
+    Manager M(NumVars);
+    std::unique_ptr<Expr> E = randomExpr(Rg, 5, NumVars);
+    NodeRef F = toBdd(M, *E);
+    for (uint32_t Bits = 0; Bits != (1u << NumVars); ++Bits) {
+      std::vector<uint8_t> A(NumVars);
+      for (unsigned V = 0; V != NumVars; ++V)
+        A[V] = (Bits >> V) & 1;
+      ASSERT_EQ(M.eval(F, A), evalExpr(*E, A)) << "round " << Round;
+    }
+  }
+}
+
+TEST(BddTest, ExistsQuantification) {
+  Rng Rg(18);
+  const unsigned NumVars = 6;
+  for (int Round = 0; Round != 30; ++Round) {
+    Manager M(NumVars);
+    std::unique_ptr<Expr> E = randomExpr(Rg, 4, NumVars);
+    NodeRef F = toBdd(M, *E);
+
+    std::vector<uint8_t> VarSet(NumVars, 0);
+    for (unsigned V = 0; V != NumVars; ++V)
+      VarSet[V] = Rg.nextBool() ? 1 : 0;
+    NodeRef Q = M.exists(F, VarSet);
+
+    for (uint32_t Bits = 0; Bits != (1u << NumVars); ++Bits) {
+      std::vector<uint8_t> A(NumVars);
+      for (unsigned V = 0; V != NumVars; ++V)
+        A[V] = (Bits >> V) & 1;
+      // exists is true iff some assignment to the quantified vars works.
+      bool Expected = false;
+      std::vector<unsigned> QVars;
+      for (unsigned V = 0; V != NumVars; ++V)
+        if (VarSet[V])
+          QVars.push_back(V);
+      for (uint32_t Sub = 0; Sub != (1u << QVars.size()); ++Sub) {
+        std::vector<uint8_t> B = A;
+        for (size_t I = 0; I != QVars.size(); ++I)
+          B[QVars[I]] = (Sub >> I) & 1;
+        Expected |= M.eval(F, B);
+      }
+      ASSERT_EQ(M.eval(Q, A), Expected);
+    }
+  }
+}
+
+TEST(BddTest, PickAssignmentSatisfies) {
+  Rng Rg(19);
+  const unsigned NumVars = 10;
+  for (int Round = 0; Round != 50; ++Round) {
+    Manager M(NumVars);
+    std::unique_ptr<Expr> E = randomExpr(Rg, 5, NumVars);
+    NodeRef F = toBdd(M, *E);
+    if (F == False)
+      continue;
+    std::vector<uint8_t> A = M.pickAssignment(F);
+    EXPECT_TRUE(M.eval(F, A));
+  }
+}
+
+TEST(BddTest, IffAndImplies) {
+  Manager M(2);
+  NodeRef A = M.var(0), B = M.var(1);
+  NodeRef Iff = M.iffOp(A, B);
+  NodeRef BothTrue = M.andOp(A, B);
+  NodeRef BothFalse = M.andOp(M.notOp(A), M.notOp(B));
+  EXPECT_EQ(Iff, M.orOp(BothTrue, BothFalse));
+  EXPECT_EQ(M.impliesOp(A, B), M.orOp(M.notOp(A), B));
+}

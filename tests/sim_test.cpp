@@ -1,0 +1,187 @@
+//===- tests/sim_test.cpp - simulator tests --------------------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "kripke/Kripke.h"
+#include "ltl/Properties.h"
+#include "ltl/TraceEval.h"
+#include "mc/LabelingChecker.h"
+#include "synth/Baselines.h"
+#include "synth/OrderUpdate.h"
+#include "topo/Fig1.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace netupd;
+using namespace netupd::testutil;
+
+TEST(SimulatorTest, SinglePacketFollowsRedPath) {
+  Fig1Network N = buildFig1();
+  Simulator Sim(N.Topo, N.Red);
+  Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr, /*PacketId=*/7);
+  ASSERT_TRUE(Sim.runToQuiescence());
+
+  ASSERT_EQ(Sim.deliveries().size(), 1u);
+  EXPECT_EQ(Sim.deliveries()[0].To, N.H[2]);
+  EXPECT_EQ(Sim.deliveries()[0].PacketId, 7u);
+  EXPECT_EQ(Sim.droppedCount(), 0u);
+
+  // The observation sequence is the red path, ending with an OUT.
+  std::vector<Observation> T = Sim.packetTrace(7);
+  ASSERT_EQ(T.size(), 6u); // 5 PROCESS + 1 OUT.
+  std::vector<SwitchId> Expected = {N.T[0], N.A[0], N.C1, N.A[2], N.T[2],
+                                    N.T[2]};
+  for (size_t I = 0; I != T.size(); ++I)
+    EXPECT_EQ(T[I].Sw, Expected[I]);
+  EXPECT_TRUE(T.back().IsOut);
+  EXPECT_EQ(T.back().Pt, N.dstPort());
+}
+
+TEST(SimulatorTest, BlackholeDrops) {
+  Fig1Network N = buildFig1();
+  Config Broken = N.Red;
+  Broken.setTable(N.C1, Table()); // C1 loses its rules.
+  Simulator Sim(N.Topo, Broken);
+  Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr);
+  ASSERT_TRUE(Sim.runToQuiescence());
+  EXPECT_TRUE(Sim.deliveries().empty());
+  EXPECT_EQ(Sim.droppedCount(), 1u);
+}
+
+/// Lemma 1 in executable form: a packet's simulator trace corresponds to
+/// a trace of the network Kripke structure.
+TEST(SimulatorTest, TracesMatchKripkeStructure) {
+  Rng R(55);
+  unsigned Compared = 0;
+  for (int Round = 0; Round != 20; ++Round) {
+    RandomNet Net = randomNet(R, 5);
+    Config Cfg = randomConfig(Net, R);
+    KripkeStructure K(Net.Topo, Cfg, Net.Classes);
+    if (K.findForwardingLoop())
+      continue; // The simulator would loop packets forever.
+
+    Simulator Sim(Net.Topo, Cfg);
+    Sim.injectPacket(0, Net.Classes[0].Hdr, 1);
+    ASSERT_TRUE(Sim.runToQuiescence());
+    std::vector<Observation> SimTrace = Sim.packetTrace(1);
+    if (SimTrace.empty())
+      continue;
+
+    // Find the Kripke trace starting at the same ingress and compare the
+    // (sw, pt) skeletons: PROCESS observations are arrival states; a
+    // final OUT observation is the egress state.
+    std::vector<std::vector<StateId>> Traces = K.enumerateTraces(10000);
+    bool Found = false;
+    for (const auto &T : Traces) {
+      if (T.size() != SimTrace.size())
+        continue;
+      bool Match = true;
+      for (size_t I = 0; I != T.size(); ++I) {
+        Match &= K.stateSwitch(T[I]) == SimTrace[I].Sw &&
+                 K.statePort(T[I]) == SimTrace[I].Pt;
+        bool WantEgress = SimTrace[I].IsOut;
+        Match &=
+            (K.stateRole(T[I]) == KripkeStructure::Role::Egress) ==
+            WantEgress;
+      }
+      if (Match) {
+        Found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(Found) << "simulator trace has no Kripke counterpart";
+    ++Compared;
+  }
+  EXPECT_GE(Compared, 5u); // The rounds must exercise real traces.
+}
+
+TEST(SimulatorTest, NaiveUpdateLosesProbes) {
+  // Fig. 2(a), blue line: the naive red->green update (A1 before C2 in
+  // ascending-id order? ids make C2 update late) drops packets in the
+  // window where A1 points at a rule-less C2.
+  Fig1Network N = buildFig1();
+  CommandSeq Naive;
+  // Worst-case naive order: A1 first, then C2 — exactly the §2 mistake.
+  Naive.push_back(Command::update(N.A[0], N.Green.table(N.A[0])));
+  Naive.push_back(Command::update(N.C2, N.Green.table(N.C2)));
+
+  Simulator Sim(N.Topo, N.Red, SimParams{/*UpdateLatencyTicks=*/30});
+  Sim.enqueueCommands(Naive);
+  uint64_t Sent = 0;
+  for (int Tick = 0; Tick != 200; ++Tick) {
+    Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr, 1000 + Tick);
+    ++Sent;
+    Sim.step();
+  }
+  Sim.runToQuiescence();
+  EXPECT_GT(Sim.droppedCount(), 0u);
+  EXPECT_LT(Sim.deliveries().size(), Sent);
+}
+
+TEST(SimulatorTest, SynthesizedUpdateLosesNothing) {
+  Fig1Network N = buildFig1();
+  FormulaFactory FF;
+  Formula Phi = reachabilityProperty(FF, N.srcPort(), N.dstPort());
+  LabelingChecker Checker;
+  SynthResult Synth =
+      synthesizeUpdate(N.Topo, N.Red, N.Green, {N.FlowH1H3}, Phi, Checker);
+  ASSERT_EQ(Synth.Status, SynthStatus::Success);
+
+  Simulator Sim(N.Topo, N.Red, SimParams{/*UpdateLatencyTicks=*/30});
+  Sim.enqueueCommands(Synth.Commands);
+  uint64_t Sent = 0;
+  for (int Tick = 0; Tick != 200; ++Tick) {
+    Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr, 2000 + Tick);
+    ++Sent;
+    Sim.step();
+  }
+  ASSERT_TRUE(Sim.runToQuiescence());
+  EXPECT_EQ(Sim.droppedCount(), 0u);
+  EXPECT_EQ(Sim.deliveries().size(), Sent);
+  EXPECT_EQ(Sim.config(), N.Green);
+}
+
+TEST(SimulatorTest, TwoPhaseUpdateLosesNothing) {
+  Fig1Network N = buildFig1();
+  TwoPhasePlan Plan = makeTwoPhasePlan(N.Topo, N.Red, N.Green);
+
+  Simulator Sim(N.Topo, N.Red, SimParams{/*UpdateLatencyTicks=*/10});
+  Sim.enqueueCommands(Plan.fullSequence());
+  uint64_t Sent = 0;
+  for (int Tick = 0; Tick != 600; ++Tick) {
+    Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr, 3000 + Tick);
+    ++Sent;
+    Sim.step();
+  }
+  ASSERT_TRUE(Sim.runToQuiescence());
+  EXPECT_EQ(Sim.droppedCount(), 0u);
+  // Deliveries may carry the version tag in typ; all packets arrive.
+  EXPECT_EQ(Sim.deliveries().size(), Sent);
+  EXPECT_EQ(Sim.config(), N.Green);
+
+  // Rule overhead during the run matches the plan's accounting.
+  for (SwitchId Sw = 0; Sw != N.Topo.numSwitches(); ++Sw)
+    EXPECT_LE(Sim.maxRulesSeen(Sw), Plan.MaxRulesPerSwitch[Sw]);
+}
+
+TEST(SimulatorTest, WaitDrainsOldEpochPackets) {
+  // A wait between two updates must not complete while pre-wait packets
+  // are still in flight.
+  Fig1Network N = buildFig1();
+  Simulator Sim(N.Topo, N.Red, SimParams{/*UpdateLatencyTicks=*/1});
+  CommandSeq Seq;
+  Seq.push_back(Command::wait());
+  Sim.enqueueCommands(Seq);
+  // Packets already in the network when the wait begins:
+  Sim.injectPacket(N.H[0], N.FlowH1H3.Hdr, 1);
+  EXPECT_FALSE(Sim.quiescent());
+  ASSERT_TRUE(Sim.runToQuiescence());
+  EXPECT_EQ(Sim.deliveries().size(), 1u);
+}

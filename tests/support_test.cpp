@@ -1,0 +1,159 @@
+//===- tests/support_test.cpp - support library tests ----------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitset.h"
+#include "support/Random.h"
+#include "support/Strings.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace netupd;
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset B(130);
+  EXPECT_EQ(B.size(), 130u);
+  EXPECT_TRUE(B.none());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+  B.clear();
+  EXPECT_TRUE(B.none());
+}
+
+TEST(BitsetTest, AssignAndAny) {
+  Bitset B(10);
+  B.assign(3, true);
+  EXPECT_TRUE(B.any());
+  B.assign(3, false);
+  EXPECT_TRUE(B.none());
+}
+
+TEST(BitsetTest, BooleanAlgebra) {
+  Bitset A(70), B(70);
+  A.set(1);
+  A.set(65);
+  B.set(1);
+  B.set(2);
+  Bitset Or = A | B;
+  EXPECT_TRUE(Or.test(1) && Or.test(2) && Or.test(65));
+  Bitset And = A & B;
+  EXPECT_TRUE(And.test(1));
+  EXPECT_FALSE(And.test(2));
+  EXPECT_FALSE(And.test(65));
+  Bitset Xor = A ^ B;
+  EXPECT_FALSE(Xor.test(1));
+  EXPECT_TRUE(Xor.test(2) && Xor.test(65));
+}
+
+TEST(BitsetTest, ContainsAndIntersects) {
+  Bitset A(100), B(100), C(100);
+  A.set(5);
+  A.set(70);
+  B.set(5);
+  C.set(6);
+  EXPECT_TRUE(A.contains(B));
+  EXPECT_FALSE(B.contains(A));
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(A.intersects(C));
+}
+
+TEST(BitsetTest, EqualityHashOrder) {
+  Bitset A(65), B(65);
+  EXPECT_EQ(A, B);
+  A.set(64);
+  EXPECT_NE(A, B);
+  EXPECT_NE(A.hash(), B.hash());
+  EXPECT_TRUE(B < A);
+  B.set(64);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(BitsetTest, ResizeZeroFills) {
+  Bitset A(3);
+  A.set(2);
+  A.resize(80);
+  EXPECT_EQ(A.size(), 80u);
+  EXPECT_TRUE(A.test(2));
+  for (size_t I = 3; I != 80; ++I)
+    EXPECT_FALSE(A.test(I));
+}
+
+TEST(BitsetTest, StrRendering) {
+  Bitset A(4);
+  A.set(1);
+  EXPECT_EQ(A.str(), "0100");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(17), 17u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(3);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng A(9);
+  Rng B = A.fork();
+  // Forked stream differs from the parent's continued stream.
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, "-"), "solo");
+}
+
+TEST(StringsTest, Split) {
+  std::vector<std::string> Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(format("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(format("%u%%", 10u), "10%");
+}

@@ -1,0 +1,205 @@
+//===- tests/topo_test.cpp - topology/scenario generator tests -*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/NaiveTraceChecker.h"
+#include "topo/Fig1.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+using namespace netupd;
+
+namespace {
+
+/// Connectivity over switch-to-switch links.
+bool isConnected(const Topology &T) {
+  if (T.numSwitches() == 0)
+    return true;
+  std::vector<std::vector<SwitchId>> Adj(T.numSwitches());
+  for (const Link &L : T.links())
+    if (!L.From.isHost() && !L.To.isHost())
+      Adj[L.From.Switch].push_back(L.To.Switch);
+  std::vector<uint8_t> Seen(T.numSwitches(), 0);
+  std::queue<SwitchId> Q;
+  Q.push(0);
+  Seen[0] = 1;
+  unsigned Count = 1;
+  while (!Q.empty()) {
+    SwitchId Cur = Q.front();
+    Q.pop();
+    for (SwitchId Next : Adj[Cur])
+      if (!Seen[Next]) {
+        Seen[Next] = 1;
+        ++Count;
+        Q.push(Next);
+      }
+  }
+  return Count == T.numSwitches();
+}
+
+/// Model-checks one configuration of a scenario with the brute-force
+/// checker.
+bool configHolds(const Scenario &S, const Config &Cfg) {
+  FormulaFactory FF;
+  KripkeStructure K(S.Topo, Cfg, S.classes());
+  NaiveTraceChecker Checker;
+  return Checker.bind(K, S.buildProperty(FF)).Holds;
+}
+
+} // namespace
+
+TEST(GeneratorsTest, FatTreeShape) {
+  for (unsigned K : {2u, 4u, 6u}) {
+    Topology T = buildFatTree(K);
+    EXPECT_EQ(T.numSwitches(), 5 * K * K / 4);
+    EXPECT_TRUE(isConnected(T));
+  }
+}
+
+TEST(GeneratorsTest, SmallWorldConnectedAndSized) {
+  Rng R(5);
+  for (unsigned N : {10u, 40u, 100u}) {
+    Topology T = buildSmallWorld(N, 4, 0.3, R);
+    EXPECT_EQ(T.numSwitches(), N);
+    EXPECT_TRUE(isConnected(T));
+  }
+}
+
+TEST(GeneratorsTest, ZooLikeDeterministicAndConnected) {
+  for (unsigned I : {0u, 10u, 100u, 260u}) {
+    Topology A = buildZooLike(I);
+    Topology B = buildZooLike(I);
+    EXPECT_EQ(A.numSwitches(), B.numSwitches());
+    EXPECT_EQ(A.numLinks(), B.numLinks());
+    EXPECT_EQ(A.numSwitches(), zooLikeSize(I));
+    EXPECT_TRUE(isConnected(A));
+    EXPECT_GE(A.numSwitches(), 8u);
+    EXPECT_LE(A.numSwitches(), 700u);
+  }
+}
+
+TEST(GeneratorsTest, ZooLikeSizesSpread) {
+  unsigned Small = 0, Large = 0;
+  for (unsigned I = 0; I != NumZooLike; ++I) {
+    unsigned N = zooLikeSize(I);
+    Small += N < 60;
+    Large += N > 200;
+  }
+  // The spread covers both ends, like the real Zoo.
+  EXPECT_GT(Small, 50u);
+  EXPECT_GT(Large, 20u);
+}
+
+TEST(Fig1Test, ConfigsSatisfyReachability) {
+  Fig1Network N = buildFig1();
+  FormulaFactory FF;
+  Formula Phi = reachabilityProperty(FF, N.srcPort(), N.dstPort());
+  for (const Config *Cfg : {&N.Red, &N.Green, &N.Blue}) {
+    KripkeStructure K(N.Topo, *Cfg, {N.FlowH1H3});
+    NaiveTraceChecker Checker;
+    EXPECT_TRUE(Checker.bind(K, Phi).Holds);
+  }
+}
+
+TEST(Fig1Test, RedAndGreenDifferOnA1AndC2) {
+  Fig1Network N = buildFig1();
+  std::vector<SwitchId> D = diffSwitches(N.Red, N.Green);
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_TRUE((D[0] == N.A[0] && D[1] == N.C2) ||
+              (D[0] == N.C2 && D[1] == N.A[0]));
+}
+
+namespace {
+
+struct ScenarioParam {
+  uint64_t Seed;
+  PropertyKind Kind;
+};
+
+class DiamondScenarioTest : public ::testing::TestWithParam<ScenarioParam> {
+};
+
+} // namespace
+
+TEST_P(DiamondScenarioTest, BothEndpointConfigsSatisfyProperty) {
+  ScenarioParam P = GetParam();
+  Rng R(P.Seed);
+  Topology Base = buildSmallWorld(24, 4, 0.2, R);
+  std::optional<Scenario> S = makeDiamondScenario(Base, R, P.Kind);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_GE(numUpdatingSwitches(*S), 2u);
+  EXPECT_TRUE(configHolds(*S, S->Initial));
+  EXPECT_TRUE(configHolds(*S, S->Final));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DiamondScenarioTest,
+    ::testing::Values(ScenarioParam{101, PropertyKind::Reachability},
+                      ScenarioParam{102, PropertyKind::Waypoint},
+                      ScenarioParam{103, PropertyKind::ServiceChain},
+                      ScenarioParam{104, PropertyKind::Reachability},
+                      ScenarioParam{105, PropertyKind::Waypoint},
+                      ScenarioParam{106, PropertyKind::ServiceChain}));
+
+TEST(DiamondScenarioTest, MultiFlowScenario) {
+  Rng R(42);
+  Topology Base = buildSmallWorld(40, 4, 0.2, R);
+  DiamondOptions Opts;
+  Opts.NumFlows = 2;
+  std::optional<Scenario> S =
+      makeDiamondScenario(Base, R, PropertyKind::Reachability, Opts);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Flows.size(), 2u);
+  EXPECT_TRUE(configHolds(*S, S->Initial));
+  EXPECT_TRUE(configHolds(*S, S->Final));
+}
+
+TEST(DiamondScenarioTest, LongPathsGrowDiamonds) {
+  Rng R(7);
+  Topology Base = buildSmallWorld(80, 6, 0.3, R);
+  DiamondOptions Short;
+  DiamondOptions Long;
+  Long.LongPaths = true;
+
+  unsigned ShortSize = 0, LongSize = 0;
+  for (int I = 0; I != 5; ++I) {
+    Rng RS(1000 + I), RL(1000 + I);
+    auto A = makeDiamondScenario(Base, RS, PropertyKind::Reachability,
+                                 Short);
+    auto B =
+        makeDiamondScenario(Base, RL, PropertyKind::Reachability, Long);
+    if (A)
+      ShortSize += numUpdatingSwitches(*A);
+    if (B)
+      LongSize += numUpdatingSwitches(*B);
+  }
+  EXPECT_GT(LongSize, ShortSize);
+}
+
+TEST(DoubleDiamondTest, EndpointsHoldButConstructionIsCrossed) {
+  Rng R(9);
+  Topology Base = buildSmallWorld(20, 4, 0.2, R);
+  std::optional<Scenario> S = makeDoubleDiamondScenario(Base, R);
+  ASSERT_TRUE(S.has_value());
+  ASSERT_EQ(S->Flows.size(), 2u);
+  EXPECT_TRUE(configHolds(*S, S->Initial));
+  EXPECT_TRUE(configHolds(*S, S->Final));
+
+  // The two flows run in opposite directions.
+  EXPECT_EQ(S->Flows[0].SrcPort, S->Flows[1].DstPort);
+  EXPECT_EQ(S->Flows[0].DstPort, S->Flows[1].SrcPort);
+
+  // Crossed branches: the reverse flow's final path uses the forward
+  // flow's initial branch (reversed).
+  std::vector<SwitchId> FwdInit = S->Flows[0].InitialPath;
+  std::vector<SwitchId> RevFinal = S->Flows[1].FinalPath;
+  std::reverse(RevFinal.begin(), RevFinal.end());
+  EXPECT_EQ(FwdInit, RevFinal);
+}
