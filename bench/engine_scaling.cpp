@@ -1,0 +1,152 @@
+//===- bench/engine_scaling.cpp - Engine worker-count sweep ----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the batch engine: one fixed batch of long-path diamond
+/// instances over the three §6 topology families, executed repeatedly
+/// with 1, 2, 4, ... workers. Reported is wall-clock per sweep and the
+/// speedup over the 1-worker run; verdicts are asserted identical across
+/// sweeps (the engine's determinism contract).
+///
+/// A second section exercises portfolio racing on Fig. 8(h)-style double
+/// diamonds, where the rule-granularity member must win the race and the
+/// switch-granularity member alone would prove Impossible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "engine/Engine.h"
+#include "topo/Generators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+using namespace netupd;
+using namespace netupd::benchutil;
+
+namespace {
+
+std::vector<SynthJob> buildBatch(double Scale) {
+  std::vector<SynthJob> Jobs;
+  Rng R(2026);
+  DiamondOptions Opts;
+  Opts.LongPaths = true;
+
+  auto AddJob = [&](const std::string &Name, const Topology &Topo) {
+    Rng Fork = R.fork();
+    std::optional<Scenario> S =
+        makeDiamondScenario(Topo, Fork, PropertyKind::Reachability, Opts);
+    if (!S)
+      return;
+    SynthJob Job;
+    Job.Name = Name;
+    Job.S = std::move(*S);
+    Jobs.push_back(std::move(Job));
+  };
+
+  unsigned PerFamily = std::max(3u, static_cast<unsigned>(3 * Scale));
+
+  // Zoo-like WANs, largest first so the batch has heavy heads.
+  std::vector<unsigned> ZooIdx(NumZooLike);
+  for (unsigned I = 0; I != NumZooLike; ++I)
+    ZooIdx[I] = I;
+  std::sort(ZooIdx.begin(), ZooIdx.end(), [](unsigned A, unsigned B) {
+    return zooLikeSize(A) > zooLikeSize(B);
+  });
+  for (unsigned I = 0; I != PerFamily; ++I)
+    AddJob("zoo-" + std::to_string(ZooIdx[I]), buildZooLike(ZooIdx[I]));
+
+  for (unsigned I = 0; I != PerFamily; ++I)
+    AddJob("fattree-8", buildFatTree(8));
+
+  for (unsigned I = 0; I != PerFamily; ++I) {
+    Rng Fork = R.fork();
+    AddJob("smallworld-200", buildSmallWorld(200, 6, 0.3, Fork));
+  }
+  return Jobs;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("engine scaling: batch synthesis, worker-count sweep");
+
+  std::vector<SynthJob> Jobs = buildBatch(Scale);
+  std::printf("batch: %zu long-path diamond jobs\n", Jobs.size());
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores <= 1)
+    std::printf("note: single-core machine; expect a flat speedup curve\n");
+
+  unsigned MaxWorkers = std::max(4u, Cores);
+  row({"workers", "wall(s)", "speedup", "ok", "queries"},
+      {9, 10, 9, 5, 10});
+
+  double BaseSeconds = 0.0;
+  std::vector<SynthStatus> BaseVerdicts;
+  for (unsigned Workers = 1; Workers <= MaxWorkers; Workers *= 2) {
+    EngineOptions EO;
+    EO.NumWorkers = Workers;
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(Jobs);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (Workers == 1) {
+      BaseSeconds = Rep.WallSeconds;
+      BaseVerdicts = Verdicts;
+    } else if (Verdicts != BaseVerdicts) {
+      std::printf("ERROR: verdicts changed at %u workers\n", Workers);
+      return 1;
+    }
+
+    row({std::to_string(Workers), format("%.3f", Rep.WallSeconds),
+         format("%.2fx", BaseSeconds / Rep.WallSeconds),
+         std::to_string(Rep.numSucceeded()) + "/" +
+             std::to_string(Rep.Reports.size()),
+         std::to_string(Rep.TotalQueries)},
+        {9, 10, 9, 5, 10});
+  }
+
+  banner("portfolio racing: double diamonds (Fig. 8(h) regime)");
+  row({"job", "verdict", "winner", "job(s)", "members"}, {16, 10, 18, 9, 40});
+  Rng R(7);
+  unsigned Races = std::max(4u, static_cast<unsigned>(4 * Scale));
+  for (unsigned I = 0; I != Races; ++I) {
+    Rng Fork = R.fork();
+    Topology Base = buildSmallWorld(40, 4, 0.2, Fork);
+    std::optional<Scenario> S = makeDoubleDiamondScenario(Base, Fork);
+    if (!S)
+      continue;
+    SynthJob Job;
+    Job.Name = "ddiamond-" + std::to_string(I);
+    Job.S = std::move(*S);
+    Job.Portfolio = defaultPortfolio();
+
+    SynthEngine Engine;
+    BatchReport Rep = Engine.run({Job});
+    const SynthReport &Res = Rep.Reports[0];
+    std::string Members;
+    for (const MemberOutcome &O : Res.Members) {
+      if (!Members.empty())
+        Members += " ";
+      const char *Tag = O.Cancelled            ? "cancelled"
+                        : O.Status == SynthStatus::Success ? "success"
+                        : O.Status == SynthStatus::Impossible
+                            ? "impossible"
+                            : "aborted";
+      Members += O.Name + "=" + Tag;
+    }
+    row({Job.Name, Res.ok() ? "success" : "failed", Res.Winner,
+         format("%.3f", Res.Seconds), Members},
+        {16, 10, 18, 9, 40});
+  }
+  return 0;
+}

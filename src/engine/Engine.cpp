@@ -1,0 +1,244 @@
+//===- engine/Engine.cpp - Parallel batch-synthesis engine -----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "mc/BackendFactory.h"
+#include "support/Timer.h"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace netupd;
+
+namespace {
+
+/// Display name for a member that did not set one.
+std::string memberDisplayName(const PortfolioMember &M) {
+  if (!M.Name.empty())
+    return M.Name;
+  return M.Backend + (M.Opts.RuleGranularity ? "/rule" : "/switch");
+}
+
+/// Runs one configuration to completion (or cancellation) with a private
+/// scenario clone, checker, and formula factory. \p Stop is everything
+/// that may cancel the run (race + batch + the member's own token);
+/// \p RaceStop is only the job-level race, so a member aborted by a
+/// batch cancellation or its own budget is not mislabelled as a race
+/// loser.
+MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
+                        const StopToken &Stop, const StopToken &RaceStop) {
+  MemberOutcome Out;
+  Out.Name = memberDisplayName(M);
+
+  Scenario Local = Shared; // Private clone; see Engine.h isolation note.
+  std::unique_ptr<CheckerBackend> Checker =
+      BackendFactory::instance().create(M.Backend, Local);
+  if (!Checker) {
+    Out.Error = "unknown backend '" + M.Backend + "'";
+    return Out;
+  }
+
+  SynthOptions Opts = M.Opts;
+  Opts.Stop = anyToken(Opts.Stop, Stop);
+
+  FormulaFactory FF;
+  Timer Clock;
+  SynthResult Res = synthesizeUpdate(Local, FF, *Checker, Opts);
+  Out.Seconds = Clock.seconds();
+  Out.Status = Res.Status;
+  Out.Stats = Res.Stats;
+  Out.Queries = Checker->numQueries();
+  Out.Cancelled =
+      Res.Status == SynthStatus::Aborted && RaceStop.stopRequested();
+  // The commands travel back through the outcome only for the winner
+  // selection below; losers' (empty) sequences cost nothing.
+  Out.Result = std::move(Res);
+  return Out;
+}
+
+/// Verdict precedence for picking a portfolio winner when several members
+/// completed: a found sequence beats every proof, a definitive proof
+/// beats an abort, and InitialViolation (the property fails before any
+/// update) is the most specific infeasibility verdict.
+int statusRank(SynthStatus S) {
+  switch (S) {
+  case SynthStatus::Success:
+    return 3;
+  case SynthStatus::InitialViolation:
+    return 2;
+  case SynthStatus::Impossible:
+    return 1;
+  case SynthStatus::Aborted:
+    return 0;
+  }
+  return 0;
+}
+
+void mergeInto(SynthStats &Acc, const SynthStats &S) {
+  Acc.CheckCalls += S.CheckCalls;
+  Acc.VisitedPrunes += S.VisitedPrunes;
+  Acc.CexPrunes += S.CexPrunes;
+  Acc.SatClauses += S.SatClauses;
+  Acc.EarlyTerminated |= S.EarlyTerminated;
+  Acc.WaitsBeforeRemoval += S.WaitsBeforeRemoval;
+  Acc.WaitsAfterRemoval += S.WaitsAfterRemoval;
+  Acc.SynthSeconds += S.SynthSeconds;
+  Acc.WaitRemovalSeconds += S.WaitRemovalSeconds;
+}
+
+} // namespace
+
+std::vector<PortfolioMember> netupd::defaultPortfolio(SynthOptions Base) {
+  std::vector<PortfolioMember> Members;
+  PortfolioMember IncrSwitch;
+  IncrSwitch.Backend = "incremental";
+  IncrSwitch.Opts = Base;
+  IncrSwitch.Opts.RuleGranularity = false;
+  Members.push_back(std::move(IncrSwitch));
+
+  PortfolioMember IncrRule;
+  IncrRule.Backend = "incremental";
+  IncrRule.Opts = Base;
+  IncrRule.Opts.RuleGranularity = true;
+  Members.push_back(std::move(IncrRule));
+
+  PortfolioMember BatchSwitch;
+  BatchSwitch.Backend = "batch";
+  BatchSwitch.Opts = Base;
+  BatchSwitch.Opts.RuleGranularity = false;
+  Members.push_back(std::move(BatchSwitch));
+  return Members;
+}
+
+SynthEngine::SynthEngine(EngineOptions Opts) : Opts(std::move(Opts)) {
+  Workers = this->Opts.NumWorkers;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+}
+
+SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index) const {
+  Timer JobClock;
+  SynthReport Rep;
+  Rep.JobIndex = Index;
+  Rep.JobName = Job.Name;
+
+  std::vector<PortfolioMember> Members = Job.Portfolio;
+  if (Members.empty())
+    Members.emplace_back(); // Default: incremental, default options.
+
+  std::vector<MemberOutcome> Outcomes(Members.size());
+  if (Members.size() == 1) {
+    Outcomes[0] = runMember(Job.S, Members[0], Opts.Stop, StopToken());
+  } else {
+    // Race: first Success fires the shared source; everyone also honours
+    // the batch-level token.
+    StopSource Race;
+    StopToken RaceStop = Race.token();
+    StopToken MemberStop = anyToken(Opts.Stop, RaceStop);
+    std::vector<std::thread> Threads;
+    Threads.reserve(Members.size());
+    for (size_t I = 0; I != Members.size(); ++I) {
+      Threads.emplace_back([&, I] {
+        Outcomes[I] = runMember(Job.S, Members[I], MemberStop, RaceStop);
+        if (Outcomes[I].Status == SynthStatus::Success)
+          Race.requestStop();
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  // Deterministic winner: best verdict rank, lowest member index.
+  size_t Best = 0;
+  for (size_t I = 1; I != Outcomes.size(); ++I)
+    if (statusRank(Outcomes[I].Status) > statusRank(Outcomes[Best].Status))
+      Best = I;
+  Rep.Winner = Outcomes[Best].Name;
+  Rep.Result = std::move(Outcomes[Best].Result);
+
+  for (MemberOutcome &O : Outcomes)
+    O.Result = SynthResult(); // Commands live in Rep.Result only.
+  Rep.Members = std::move(Outcomes);
+  Rep.Seconds = JobClock.seconds();
+  return Rep;
+}
+
+BatchReport SynthEngine::run(const std::vector<SynthJob> &Jobs) const {
+  Timer Clock;
+  BatchReport Rep;
+  Rep.NumWorkers = Workers;
+  Rep.Reports.resize(Jobs.size());
+  if (Jobs.empty())
+    return Rep;
+
+  unsigned Pool =
+      static_cast<unsigned>(std::min<size_t>(Workers, Jobs.size()));
+
+  // Per-worker deques, jobs dealt round-robin.
+  std::vector<std::deque<size_t>> Queues(Pool);
+  std::vector<std::mutex> Locks(Pool);
+  for (size_t I = 0; I != Jobs.size(); ++I)
+    Queues[I % Pool].push_back(I);
+
+  auto PopOwn = [&](unsigned Me, size_t &Out) {
+    std::lock_guard<std::mutex> Lock(Locks[Me]);
+    if (Queues[Me].empty())
+      return false;
+    Out = Queues[Me].back();
+    Queues[Me].pop_back();
+    return true;
+  };
+  auto Steal = [&](unsigned Me, size_t &Out) {
+    for (unsigned Off = 1; Off != Pool; ++Off) {
+      unsigned Victim = (Me + Off) % Pool;
+      std::lock_guard<std::mutex> Lock(Locks[Victim]);
+      if (Queues[Victim].empty())
+        continue;
+      Out = Queues[Victim].front();
+      Queues[Victim].pop_front();
+      return true;
+    }
+    return false;
+  };
+
+  auto Work = [&](unsigned Me) {
+    size_t Idx = 0;
+    while (PopOwn(Me, Idx) || Steal(Me, Idx)) {
+      SynthReport R;
+      if (Opts.Stop.stopRequested()) {
+        // Batch cancelled: report the job Aborted without running it.
+        R.JobIndex = Idx;
+        R.JobName = Jobs[Idx].Name;
+        R.Result.Status = SynthStatus::Aborted;
+      } else {
+        R = runOneJob(Jobs[Idx], Idx);
+      }
+      Rep.Reports[Idx] = std::move(R); // Exclusive slot; no lock needed.
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Pool - 1);
+  for (unsigned W = 1; W < Pool; ++W)
+    Threads.emplace_back(Work, W);
+  Work(0);
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (const SynthReport &R : Rep.Reports) {
+    mergeInto(Rep.Merged, R.Result.Stats);
+    for (const MemberOutcome &O : R.Members)
+      Rep.TotalQueries += O.Queries;
+  }
+  Rep.WallSeconds = Clock.seconds();
+  return Rep;
+}

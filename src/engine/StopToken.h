@@ -1,0 +1,93 @@
+//===- engine/StopToken.h - Cooperative cancellation -----------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal std::stop_token substitute (the codebase targets C++17) used
+/// to cancel in-flight synthesis runs cooperatively. A StopSource owns a
+/// shared flag; any number of StopToken copies observe it. The engine's
+/// portfolio mode hands every racing configuration a token and fires the
+/// source as soon as a winner emerges; the ORDERUPDATE DFS and the
+/// early-termination SAT layer poll the token at their natural budget
+/// checkpoints.
+///
+/// A token may observe several sources at once (anyToken): a portfolio
+/// member stops when either its job's race is decided or the whole batch
+/// is cancelled. Tokens are cheap to copy, polling is a short loop over
+/// at most a handful of flags, and a default-constructed token never
+/// reports stop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_ENGINE_STOPTOKEN_H
+#define NETUPD_ENGINE_STOPTOKEN_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace netupd {
+
+/// Observer end of one or more cancellation channels; see file comment.
+class StopToken {
+public:
+  /// An empty token: stopRequested() is always false.
+  StopToken() = default;
+
+  /// True once any observed StopSource fired. Relaxed ordering suffices:
+  /// each flag only ever goes false -> true, and observers act on it by
+  /// abandoning work, not by reading data published alongside it.
+  bool stopRequested() const {
+    for (const auto &F : Flags)
+      if (F->load(std::memory_order_relaxed))
+        return true;
+    return false;
+  }
+
+  /// True if this token observes at least one source.
+  bool possible() const { return !Flags.empty(); }
+
+  /// A token observing every source of \p A and \p B.
+  friend StopToken anyToken(const StopToken &A, const StopToken &B) {
+    StopToken T;
+    T.Flags = A.Flags;
+    T.Flags.insert(T.Flags.end(), B.Flags.begin(), B.Flags.end());
+    return T;
+  }
+
+private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const std::atomic<bool>> Flag) {
+    Flags.push_back(std::move(Flag));
+  }
+
+  /// The observed flags; empty for a default token, one entry for a
+  /// plain source token, a few for merged tokens.
+  std::vector<std::shared_ptr<const std::atomic<bool>>> Flags;
+};
+
+/// Owner end of a cancellation channel.
+class StopSource {
+public:
+  StopSource() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent and thread-safe.
+  void requestStop() { Flag->store(true, std::memory_order_relaxed); }
+
+  bool stopRequested() const {
+    return Flag->load(std::memory_order_relaxed);
+  }
+
+  /// A token observing this source.
+  StopToken token() const { return StopToken(Flag); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_ENGINE_STOPTOKEN_H

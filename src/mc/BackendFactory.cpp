@@ -1,0 +1,106 @@
+//===- mc/BackendFactory.cpp - Checker-backend registry --------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/BackendFactory.h"
+
+#include "bddmc/SymbolicChecker.h"
+#include "hsa/HsaChecker.h"
+#include "mc/LabelingChecker.h"
+#include "mc/NaiveTraceChecker.h"
+#include "topo/Scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+
+using namespace netupd;
+
+namespace {
+
+std::string lowered(const std::string &Name) {
+  std::string Out = Name;
+  std::transform(Out.begin(), Out.end(), Out.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return Out;
+}
+
+/// Guards the registry: engine workers create() backends concurrently
+/// while tests may registerBackend() custom configurations.
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+} // namespace
+
+BackendFactory::BackendFactory() {
+  Entries.emplace_back("incremental", [](const Scenario &) {
+    return std::make_unique<LabelingChecker>(
+        LabelingChecker::Mode::Incremental);
+  });
+  Entries.emplace_back("batch", [](const Scenario &) {
+    return std::make_unique<LabelingChecker>(LabelingChecker::Mode::Batch);
+  });
+  Entries.emplace_back("symbolic", [](const Scenario &) {
+    return std::make_unique<SymbolicChecker>();
+  });
+  Entries.emplace_back("hsa", [](const Scenario &S) {
+    return std::make_unique<HsaChecker>(HsaChecker::probesFromScenario(S));
+  });
+  Entries.emplace_back("naive", [](const Scenario &) {
+    return std::make_unique<NaiveTraceChecker>();
+  });
+}
+
+BackendFactory &BackendFactory::instance() {
+  static BackendFactory Factory;
+  return Factory;
+}
+
+void BackendFactory::registerBackend(const std::string &Name,
+                                     BackendCtor Ctor) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  std::string Key = lowered(Name);
+  for (auto &[EntryName, EntryCtor] : Entries) {
+    if (EntryName == Key) {
+      EntryCtor = std::move(Ctor);
+      return;
+    }
+  }
+  Entries.emplace_back(std::move(Key), std::move(Ctor));
+}
+
+std::unique_ptr<CheckerBackend>
+BackendFactory::create(const std::string &Name, const Scenario &S) const {
+  BackendCtor Ctor;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    std::string Key = lowered(Name);
+    for (const auto &[EntryName, EntryCtor] : Entries)
+      if (EntryName == Key)
+        Ctor = EntryCtor;
+  }
+  return Ctor ? Ctor(S) : nullptr;
+}
+
+bool BackendFactory::known(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  std::string Key = lowered(Name);
+  return std::any_of(Entries.begin(), Entries.end(),
+                     [&](const auto &E) { return E.first == Key; });
+}
+
+std::vector<std::string> BackendFactory::names() const {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[EntryName, EntryCtor] : Entries)
+    Out.push_back(EntryName);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- mc/BackendFactory.h - Checker-backend registry ----------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A name -> constructor registry for CheckerBackend implementations.
+/// Benches and examples used to construct backends ad hoc at every call
+/// site; the engine's portfolio mode instead names its racing
+/// configurations ("incremental", "batch", "symbolic", "hsa", "naive")
+/// and asks the factory to instantiate them per job. Construction takes
+/// the job's Scenario because some backends are scenario-dependent: the
+/// NetPlumber-substitute derives its probe set from the scenario's
+/// property family.
+///
+/// The five in-tree backends are registered on first use; callers may
+/// register additional configurations (e.g. a tuned checker variant)
+/// under new names. Lookup is case-insensitive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_MC_BACKENDFACTORY_H
+#define NETUPD_MC_BACKENDFACTORY_H
+
+#include "mc/CheckerBackend.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace netupd {
+
+struct Scenario;
+
+/// Constructs a fresh backend for one synthesis run over \p S. Factories
+/// must be safe to invoke concurrently from engine workers.
+using BackendCtor =
+    std::function<std::unique_ptr<CheckerBackend>(const Scenario &S)>;
+
+/// The registry; see file comment.
+class BackendFactory {
+public:
+  /// The process-wide registry, with the in-tree backends pre-registered.
+  static BackendFactory &instance();
+
+  /// Registers \p Ctor under \p Name, replacing any previous entry.
+  void registerBackend(const std::string &Name, BackendCtor Ctor);
+
+  /// Instantiates the backend registered under \p Name for \p S, or null
+  /// if the name is unknown.
+  std::unique_ptr<CheckerBackend> create(const std::string &Name,
+                                         const Scenario &S) const;
+
+  /// True if \p Name resolves to a registered backend.
+  bool known(const std::string &Name) const;
+
+  /// The registered names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  BackendFactory();
+
+  std::vector<std::pair<std::string, BackendCtor>> Entries;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_MC_BACKENDFACTORY_H

@@ -25,6 +25,7 @@
 #include "kripke/Kripke.h"
 #include "ltl/Formula.h"
 
+#include <atomic>
 #include <vector>
 
 namespace netupd {
@@ -77,11 +78,16 @@ public:
   virtual const char *name() const = 0;
 
   /// Number of model-checking calls served so far (for the §6
-  /// micro-comparison of checkers on identical query streams).
-  unsigned numQueries() const { return Queries; }
+  /// micro-comparison of checkers on identical query streams). Every
+  /// backend increments exactly once per bind() and once per
+  /// recheckAfterUpdate(). Atomic so engine threads may read a racing
+  /// backend's progress; a backend itself is still single-threaded.
+  unsigned numQueries() const {
+    return Queries.load(std::memory_order_relaxed);
+  }
 
 protected:
-  unsigned Queries = 0;
+  std::atomic<unsigned> Queries{0};
 };
 
 } // namespace netupd

@@ -213,10 +213,8 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
 CheckResult
 LabelingChecker::recheckAfterUpdate(const UpdateInfo &Update) {
   assert(K && "recheck before bind");
-  if (M == Mode::Batch) {
-    ++Queries;
-    return fullCheck();
-  }
+  if (M == Mode::Batch)
+    return fullCheck(); // fullCheck() counts the query.
   assert(Update.ChangedStates && "incremental recheck needs changed states");
   return incrementalCheck(*Update.ChangedStates);
 }

@@ -54,6 +54,11 @@ void EarlyTermination::addCexConstraint(
     const std::vector<unsigned> &NotUpdated) {
   if (KnownImpossible)
     return;
+  // A cancelled search learns nothing: skip the (cubic) transitivity
+  // encoding and leave the clause set as-is — soundness is unaffected
+  // because constraints only ever shrink the set of admitted orders.
+  if (Stop.stopRequested())
+    return;
   if (NotUpdated.empty()) {
     // The all-updated combination is bad: the final configuration itself
     // violates the property, so no order whatsoever can work.
@@ -88,6 +93,8 @@ bool EarlyTermination::impossible() {
     return true;
   if (!Dirty)
     return !LastSat;
+  if (Stop.stopRequested())
+    return !LastSat; // Stay Dirty: a resumed caller re-solves.
   Dirty = false;
   LastSat = Solver.solve();
   return !LastSat;

@@ -26,6 +26,7 @@
 #ifndef NETUPD_SYNTH_EARLYTERMINATION_H
 #define NETUPD_SYNTH_EARLYTERMINATION_H
 
+#include "engine/StopToken.h"
 #include "sat/Solver.h"
 
 #include <map>
@@ -58,8 +59,15 @@ public:
                         const std::vector<unsigned> &NotUpdated);
 
   /// True when the accumulated constraints admit no total order; runs the
-  /// incremental SAT solver.
+  /// incremental SAT solver. When the stop token has fired the solve is
+  /// skipped and the cached verdict returned: the caller is about to
+  /// abandon the search anyway, and SAT calls are the one unbounded-cost
+  /// step in the learning path.
   bool impossible();
+
+  /// Installs the cancellation token polled by impossible() and
+  /// addCexConstraint(); an empty token (the default) never stops.
+  void setStopToken(StopToken Token) { Stop = std::move(Token); }
 
   uint64_t numClauses() const { return Clauses; }
 
@@ -72,6 +80,7 @@ private:
   void mention(unsigned Op);
 
   sat::Solver Solver;
+  StopToken Stop;
   std::map<std::pair<unsigned, unsigned>, sat::Var> PairVars;
   std::vector<unsigned> Mentioned;
   unsigned TransitivityCap;

@@ -74,7 +74,9 @@ public:
                     CheckerBackend &Checker, const SynthOptions &Opts)
       : Topo(Topo), Initial(Initial), Final(Final), Classes(Classes),
         Phi(Phi), Checker(Checker), Opts(Opts),
-        K(Topo, Initial, Classes) {}
+        K(Topo, Initial, Classes) {
+    ET.setStopToken(this->Opts.Stop);
+  }
 
   SynthResult run();
 
@@ -234,6 +236,8 @@ void OrderUpdateSearch::learnCex(const std::vector<StateId> &CexStates,
 }
 
 bool OrderUpdateSearch::hitLimits() {
+  if (Opts.Stop.stopRequested())
+    return true;
   if (Opts.TimeoutSeconds > 0.0 && Clock.seconds() > Opts.TimeoutSeconds)
     return true;
   if (Opts.MaxCheckCalls != 0 && Stats.CheckCalls >= Opts.MaxCheckCalls)
@@ -350,6 +354,12 @@ SynthResult OrderUpdateSearch::run() {
 
   CheckResult InitRes = Checker.bind(K, Phi);
   ++Stats.CheckCalls;
+  if (Opts.Stop.stopRequested()) {
+    Result.Status = SynthStatus::Aborted;
+    Stats.SynthSeconds = Clock.seconds();
+    Result.Stats = Stats;
+    return Result;
+  }
   if (!InitRes.Holds) {
     Result.Status = SynthStatus::InitialViolation;
     Stats.SynthSeconds = Clock.seconds();

@@ -28,6 +28,7 @@
 #ifndef NETUPD_SYNTH_ORDERUPDATE_H
 #define NETUPD_SYNTH_ORDERUPDATE_H
 
+#include "engine/StopToken.h"
 #include "mc/CheckerBackend.h"
 #include "synth/Command.h"
 #include "topo/Scenario.h"
@@ -48,6 +49,10 @@ struct SynthOptions {
   /// Abort knobs (0 = unlimited); the paper used a 10-minute timeout.
   uint64_t MaxCheckCalls = 0;
   double TimeoutSeconds = 0.0;
+  /// Cooperative-cancellation token, polled at the same checkpoints as
+  /// the abort knobs. The engine's portfolio mode fires it to cancel
+  /// losing configurations; a default (empty) token never stops.
+  StopToken Stop;
 };
 
 /// Search statistics reported alongside a result.

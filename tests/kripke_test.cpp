@@ -97,8 +97,9 @@ TEST(KripkeTest, TopoOrderPutsSuccessorsFirst) {
     Pos[Order[I]] = I;
   for (StateId S = 0; S != K.numStates(); ++S)
     for (StateId Next : K.succs(S)) {
-      if (Next != S)
+      if (Next != S) {
         EXPECT_LT(Pos[Next], Pos[S]);
+      }
     }
 }
 

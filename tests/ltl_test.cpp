@@ -125,10 +125,12 @@ TEST(ClosureTest, ItemsAreChildrenFirst) {
   Closure Cl(F);
   for (unsigned I = 0; I != Cl.size(); ++I) {
     Formula Item = Cl.item(I);
-    if (Item->lhs())
+    if (Item->lhs()) {
       EXPECT_LT(Cl.indexOf(Item->lhs()), I);
-    if (Item->rhs())
+    }
+    if (Item->rhs()) {
       EXPECT_LT(Cl.indexOf(Item->rhs()), I);
+    }
   }
   EXPECT_EQ(Cl.item(Cl.rootIndex()), F);
 }
