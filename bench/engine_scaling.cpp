@@ -14,13 +14,21 @@
 ///
 /// A second section exercises portfolio racing on Fig. 8(h)-style double
 /// diamonds, where the rule-granularity member must win the race and the
-/// switch-granularity member alone would prove Impossible.
+/// switch-granularity member alone would prove Impossible. A third
+/// section measures the two memoization layers on a duplicate-heavy
+/// batch: the engine result cache (whole jobs) and the checker-level
+/// "memo:" cache (individual queries).
+///
+/// Everything measured is also written to BENCH_engine.json (jobs/sec,
+/// TotalQueries, cache hit rates) so the perf trajectory is tracked
+/// machine-readably from PR 2 onward.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include "engine/Engine.h"
+#include "mc/MemoizingChecker.h"
 #include "topo/Generators.h"
 
 #include <algorithm>
@@ -72,6 +80,81 @@ std::vector<SynthJob> buildBatch(double Scale) {
   return Jobs;
 }
 
+/// One worker-count measurement for the JSON report.
+struct SweepPoint {
+  unsigned Workers = 0;
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  double Speedup = 1.0;
+  uint64_t TotalQueries = 0;
+  unsigned Succeeded = 0;
+};
+
+/// One caching-mode measurement for the JSON report.
+struct CachePoint {
+  const char *Mode = "";
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  uint64_t TotalQueries = 0;
+  uint64_t EngineHits = 0, EngineMisses = 0;
+  uint64_t MemoHits = 0, MemoMisses = 0;
+
+  double engineHitRate() const {
+    uint64_t N = EngineHits + EngineMisses;
+    return N ? static_cast<double>(EngineHits) / N : 0.0;
+  }
+  double memoHitRate() const {
+    uint64_t N = MemoHits + MemoMisses;
+    return N ? static_cast<double>(MemoHits) / N : 0.0;
+  }
+};
+
+/// Writes everything measured to BENCH_engine.json.
+void writeJson(double Scale, size_t SweepJobs,
+               const std::vector<SweepPoint> &Sweep, size_t CacheJobs,
+               const std::vector<CachePoint> &CacheRuns) {
+  FILE *F = std::fopen("BENCH_engine.json", "w");
+  if (!F) {
+    std::printf("warning: cannot write BENCH_engine.json\n");
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"engine_scaling\",\n");
+  std::fprintf(F, "  \"scale\": %g,\n", Scale);
+  std::fprintf(F, "  \"sweep_jobs\": %zu,\n  \"sweep\": [\n", SweepJobs);
+  for (size_t I = 0; I != Sweep.size(); ++I) {
+    const SweepPoint &P = Sweep[I];
+    std::fprintf(F,
+                 "    {\"workers\": %u, \"wall_seconds\": %.6f, "
+                 "\"jobs_per_sec\": %.3f, \"speedup\": %.3f, "
+                 "\"total_queries\": %llu, \"succeeded\": %u}%s\n",
+                 P.Workers, P.WallSeconds, P.JobsPerSec, P.Speedup,
+                 static_cast<unsigned long long>(P.TotalQueries),
+                 P.Succeeded, I + 1 == Sweep.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"cache_jobs\": %zu,\n  \"cache\": [\n", CacheJobs);
+  for (size_t I = 0; I != CacheRuns.size(); ++I) {
+    const CachePoint &P = CacheRuns[I];
+    std::fprintf(
+        F,
+        "    {\"mode\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"jobs_per_sec\": %.3f, \"total_queries\": %llu, "
+        "\"engine_cache_hits\": %llu, \"engine_cache_misses\": %llu, "
+        "\"engine_cache_hit_rate\": %.4f, \"memo_hits\": %llu, "
+        "\"memo_misses\": %llu, \"memo_hit_rate\": %.4f}%s\n",
+        P.Mode, P.WallSeconds, P.JobsPerSec,
+        static_cast<unsigned long long>(P.TotalQueries),
+        static_cast<unsigned long long>(P.EngineHits),
+        static_cast<unsigned long long>(P.EngineMisses),
+        P.engineHitRate(), static_cast<unsigned long long>(P.MemoHits),
+        static_cast<unsigned long long>(P.MemoMisses), P.memoHitRate(),
+        I + 1 == CacheRuns.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_engine.json\n");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -88,11 +171,15 @@ int main(int Argc, char **Argv) {
   row({"workers", "wall(s)", "speedup", "ok", "queries"},
       {9, 10, 9, 5, 10});
 
+  std::vector<SweepPoint> Sweep;
   double BaseSeconds = 0.0;
   std::vector<SynthStatus> BaseVerdicts;
   for (unsigned Workers = 1; Workers <= MaxWorkers; Workers *= 2) {
     EngineOptions EO;
     EO.NumWorkers = Workers;
+    // The sweep measures raw scaling; result caching would hide the
+    // repeated work the worker counts are compared on.
+    EO.CacheResults = false;
     SynthEngine Engine(EO);
     BatchReport Rep = Engine.run(Jobs);
 
@@ -107,8 +194,19 @@ int main(int Argc, char **Argv) {
       return 1;
     }
 
+    SweepPoint P;
+    P.Workers = Workers;
+    P.WallSeconds = Rep.WallSeconds;
+    P.JobsPerSec = Rep.WallSeconds > 0
+                       ? static_cast<double>(Jobs.size()) / Rep.WallSeconds
+                       : 0.0;
+    P.Speedup = BaseSeconds / Rep.WallSeconds;
+    P.TotalQueries = Rep.TotalQueries;
+    P.Succeeded = Rep.numSucceeded();
+    Sweep.push_back(P);
+
     row({std::to_string(Workers), format("%.3f", Rep.WallSeconds),
-         format("%.2fx", BaseSeconds / Rep.WallSeconds),
+         format("%.2fx", P.Speedup),
          std::to_string(Rep.numSucceeded()) + "/" +
              std::to_string(Rep.Reports.size()),
          std::to_string(Rep.TotalQueries)},
@@ -148,5 +246,83 @@ int main(int Argc, char **Argv) {
          format("%.3f", Res.Seconds), Members},
         {16, 10, 18, 9, 40});
   }
+
+  banner("memoization: duplicate-heavy batch, three cache modes");
+  // Real batch streams repeat scenarios (retries, per-tenant isomorphic
+  // topologies): model that by replicating each base job. The three
+  // modes measure no caching, the engine result cache (dedups whole
+  // jobs), and checker memoization alone (dedups individual queries via
+  // memo:incremental sharing the process-wide CheckCache).
+  std::vector<SynthJob> CacheJobs;
+  {
+    Rng CR(11);
+    unsigned Base = std::max(2u, static_cast<unsigned>(2 * Scale));
+    unsigned Copies = 3;
+    for (unsigned I = 0; I != Base; ++I) {
+      Rng Fork = CR.fork();
+      std::optional<Scenario> S = makeDiamondScenario(
+          buildFatTree(8), Fork, PropertyKind::Reachability);
+      if (!S)
+        continue;
+      for (unsigned C = 0; C != Copies; ++C) {
+        SynthJob Job;
+        Job.Name = "dup-" + std::to_string(I) + "-" + std::to_string(C);
+        Job.S = *S;
+        CacheJobs.push_back(std::move(Job));
+      }
+    }
+  }
+  std::printf("batch: %zu jobs (3 copies each)\n", CacheJobs.size());
+
+  std::vector<CachePoint> CacheRuns;
+  std::vector<SynthStatus> CacheVerdicts;
+  for (const char *Mode : {"none", "engine", "memo"}) {
+    std::vector<SynthJob> Batch = CacheJobs;
+    if (std::string(Mode) == "memo") {
+      MemoizingChecker::processCache()->clear();
+      for (SynthJob &Job : Batch) {
+        Job.Portfolio.emplace_back();
+        Job.Portfolio[0].Backend = "memo:incremental";
+      }
+    }
+    EngineOptions EO;
+    EO.CacheResults = std::string(Mode) == "engine";
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(Batch);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (CacheRuns.empty()) {
+      CacheVerdicts = Verdicts;
+    } else if (Verdicts != CacheVerdicts) {
+      std::printf("ERROR: caching mode '%s' changed a verdict\n", Mode);
+      return 1;
+    }
+
+    CachePoint P;
+    P.Mode = Mode;
+    P.WallSeconds = Rep.WallSeconds;
+    P.JobsPerSec = Rep.WallSeconds > 0
+                       ? static_cast<double>(Batch.size()) / Rep.WallSeconds
+                       : 0.0;
+    P.TotalQueries = Rep.TotalQueries;
+    P.EngineHits = Rep.EngineCacheHits;
+    P.EngineMisses = Rep.EngineCacheMisses;
+    P.MemoHits = Rep.Merged.CacheHits;
+    P.MemoMisses = Rep.Merged.CacheMisses;
+    CacheRuns.push_back(P);
+  }
+
+  row({"mode", "wall(s)", "jobs/s", "queries", "eng hit%", "memo hit%"},
+      {9, 10, 9, 9, 10, 10});
+  for (const CachePoint &P : CacheRuns)
+    row({P.Mode, format("%.3f", P.WallSeconds),
+         format("%.1f", P.JobsPerSec), std::to_string(P.TotalQueries),
+         format("%.0f%%", 100 * P.engineHitRate()),
+         format("%.0f%%", 100 * P.memoHitRate())},
+        {9, 10, 9, 9, 10, 10});
+
+  writeJson(Scale, Jobs.size(), Sweep, CacheJobs.size(), CacheRuns);
   return 0;
 }

@@ -10,9 +10,9 @@
 #include "mc/BackendFactory.h"
 #include "support/Timer.h"
 
-#include <deque>
-#include <mutex>
-#include <thread>
+#include <algorithm>
+#include <cassert>
+#include <cctype>
 
 using namespace netupd;
 
@@ -25,12 +25,22 @@ std::string memberDisplayName(const PortfolioMember &M) {
   return M.Backend + (M.Opts.RuleGranularity ? "/rule" : "/switch");
 }
 
+/// The members a job actually runs: its portfolio, or the single default
+/// member an empty portfolio stands for. digestOf(SynthJob) uses the
+/// same normalization so the cache key matches what executes.
+std::vector<PortfolioMember> normalizedPortfolio(const SynthJob &Job) {
+  std::vector<PortfolioMember> Members = Job.Portfolio;
+  if (Members.empty())
+    Members.emplace_back(); // Default: incremental, default options.
+  return Members;
+}
+
 /// Runs one configuration to completion (or cancellation) with a private
 /// scenario clone, checker, and formula factory. \p Stop is everything
-/// that may cancel the run (race + batch + the member's own token);
-/// \p RaceStop is only the job-level race, so a member aborted by a
-/// batch cancellation or its own budget is not mislabelled as a race
-/// loser.
+/// that may cancel the run (race + batch + per-job cancellation + the
+/// member's own token); \p RaceStop is only the job-level race, so a
+/// member aborted by an external cancellation or its own budget is not
+/// mislabelled as a race loser.
 MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
                         const StopToken &Stop, const StopToken &RaceStop) {
   MemberOutcome Out;
@@ -80,18 +90,6 @@ int statusRank(SynthStatus S) {
   return 0;
 }
 
-void mergeInto(SynthStats &Acc, const SynthStats &S) {
-  Acc.CheckCalls += S.CheckCalls;
-  Acc.VisitedPrunes += S.VisitedPrunes;
-  Acc.CexPrunes += S.CexPrunes;
-  Acc.SatClauses += S.SatClauses;
-  Acc.EarlyTerminated |= S.EarlyTerminated;
-  Acc.WaitsBeforeRemoval += S.WaitsBeforeRemoval;
-  Acc.WaitsAfterRemoval += S.WaitsAfterRemoval;
-  Acc.SynthSeconds += S.SynthSeconds;
-  Acc.WaitRemovalSeconds += S.WaitRemovalSeconds;
-}
-
 } // namespace
 
 std::vector<PortfolioMember> netupd::defaultPortfolio(SynthOptions Base) {
@@ -116,34 +114,197 @@ std::vector<PortfolioMember> netupd::defaultPortfolio(SynthOptions Base) {
   return Members;
 }
 
-SynthEngine::SynthEngine(EngineOptions Opts) : Opts(std::move(Opts)) {
-  Workers = this->Opts.NumWorkers;
+Digest netupd::digestOf(const SynthJob &Job) {
+  DigestBuilder B;
+  B.addDigest(digestOf(Job.S));
+  std::vector<PortfolioMember> Members = normalizedPortfolio(Job);
+  B.addU64(Members.size());
+  for (const PortfolioMember &M : Members) {
+    // Backend specs are case-insensitive at the factory; canonicalize.
+    std::string Spec = M.Backend;
+    std::transform(Spec.begin(), Spec.end(), Spec.begin(),
+                   [](unsigned char C) {
+                     return static_cast<char>(std::tolower(C));
+                   });
+    B.addString(Spec);
+    // Every option that can change the result; display Name and the
+    // Stop token are presentation/control, not semantics.
+    B.addBool(M.Opts.CexPruning);
+    B.addBool(M.Opts.EarlyTermination);
+    B.addBool(M.Opts.WaitRemoval);
+    B.addBool(M.Opts.RuleGranularity);
+    B.addU64(M.Opts.MaxCheckCalls);
+    B.addDouble(M.Opts.TimeoutSeconds);
+  }
+  return B.finish();
+}
+
+// --- JobHandle --------------------------------------------------------------
+
+bool JobHandle::done() const {
+  if (!St)
+    return false;
+  std::lock_guard<std::mutex> Lock(St->M);
+  return St->Done;
+}
+
+const SynthReport &JobHandle::wait() const {
+  assert(St && "waiting on an invalid handle");
+  std::unique_lock<std::mutex> Lock(St->M);
+  St->CV.wait(Lock, [&] { return St->Done; });
+  return St->Rep;
+}
+
+void JobHandle::cancel() {
+  if (St)
+    St->Cancel.requestStop();
+}
+
+// --- SynthEngine ------------------------------------------------------------
+
+SynthEngine::SynthEngine(EngineOptions InitOpts) : Opts(std::move(InitOpts)) {
+  Workers = Opts.NumWorkers;
   if (Workers == 0) {
     Workers = std::thread::hardware_concurrency();
     if (Workers == 0)
       Workers = 1;
   }
+  Cache = Opts.Cache ? Opts.Cache : std::make_shared<ResultCache>();
+  Pool.reserve(Workers);
+  // Workers spawn lazily in submit(): a 1-job batch costs one thread no
+  // matter how wide the machine is.
 }
 
-SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index) const {
+SynthEngine::~SynthEngine() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &T : Pool)
+    T.join();
+
+  // Complete whatever never ran so outstanding handles unblock.
+  std::deque<std::shared_ptr<detail::JobState>> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Orphans.swap(Queue);
+  }
+  for (const std::shared_ptr<detail::JobState> &St : Orphans) {
+    SynthReport Rep;
+    Rep.JobIndex = St->Index;
+    Rep.JobName = St->Job.Name;
+    Rep.Result.Status = SynthStatus::Aborted;
+    {
+      std::lock_guard<std::mutex> Lock(St->M);
+      St->Rep = std::move(Rep);
+      St->Done = true;
+    }
+    St->CV.notify_all();
+  }
+}
+
+JobHandle SynthEngine::submit(SynthJob Job) {
+  auto St = std::make_shared<detail::JobState>();
+  St->Job = std::move(Job);
+  bool Rejected = false;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    St->Index = NextIndex++;
+    if (ShuttingDown) {
+      Rejected = true;
+    } else {
+      Queue.push_back(St);
+      // Grow the pool only when the backlog exceeds the idle workers;
+      // see IdleWorkers in Engine.h.
+      if (Pool.size() < Workers && Queue.size() > IdleWorkers)
+        Pool.emplace_back([this] { workerLoop(); });
+    }
+  }
+  if (Rejected) {
+    std::lock_guard<std::mutex> Lock(St->M);
+    St->Rep.JobIndex = St->Index;
+    St->Rep.JobName = St->Job.Name;
+    St->Rep.Result.Status = SynthStatus::Aborted;
+    St->Done = true;
+  } else {
+    QueueCV.notify_one();
+  }
+  return JobHandle(St);
+}
+
+void SynthEngine::workerLoop() {
+  for (;;) {
+    std::shared_ptr<detail::JobState> St;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      ++IdleWorkers;
+      QueueCV.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+      --IdleWorkers;
+      if (ShuttingDown)
+        return; // Destructor drains what is left.
+      St = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    executeJob(*St);
+  }
+}
+
+void SynthEngine::executeJob(detail::JobState &St) {
+  Timer JobClock;
+  StopToken Stop = anyToken(Opts.Stop, St.Cancel.token());
+
+  SynthReport Rep;
+  Rep.JobIndex = St.Index;
+  Rep.JobName = St.Job.Name;
+
+  if (Stop.stopRequested()) {
+    // Cancelled while queued: report without running (and without
+    // touching the cache — an aborted job says nothing about the
+    // instance).
+    Rep.Result.Status = SynthStatus::Aborted;
+  } else if (Opts.CacheResults) {
+    Digest Key = digestOf(St.Job);
+    if (std::optional<CachedJobResult> Hit = Cache->lookup(Key)) {
+      Rep.Result = std::move(Hit->Result);
+      Rep.Winner = std::move(Hit->Winner);
+      Rep.FromCache = true;
+      Rep.Seconds = JobClock.seconds();
+    } else {
+      Rep = runOneJob(St.Job, St.Index, Stop);
+      if (Rep.Result.Status != SynthStatus::Aborted)
+        Cache->store(Key, CachedJobResult{Rep.Result, Rep.Winner});
+    }
+  } else {
+    Rep = runOneJob(St.Job, St.Index, Stop);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(St.M);
+    St.Rep = std::move(Rep);
+    St.Done = true;
+  }
+  St.CV.notify_all();
+}
+
+SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
+                                   const StopToken &Stop) const {
   Timer JobClock;
   SynthReport Rep;
   Rep.JobIndex = Index;
   Rep.JobName = Job.Name;
 
-  std::vector<PortfolioMember> Members = Job.Portfolio;
-  if (Members.empty())
-    Members.emplace_back(); // Default: incremental, default options.
+  std::vector<PortfolioMember> Members = normalizedPortfolio(Job);
 
   std::vector<MemberOutcome> Outcomes(Members.size());
   if (Members.size() == 1) {
-    Outcomes[0] = runMember(Job.S, Members[0], Opts.Stop, StopToken());
+    Outcomes[0] = runMember(Job.S, Members[0], Stop, StopToken());
   } else {
     // Race: first Success fires the shared source; everyone also honours
-    // the batch-level token.
+    // the external (batch + per-job) token.
     StopSource Race;
     StopToken RaceStop = Race.token();
-    StopToken MemberStop = anyToken(Opts.Stop, RaceStop);
+    StopToken MemberStop = anyToken(Stop, RaceStop);
     std::vector<std::thread> Threads;
     Threads.reserve(Members.size());
     for (size_t I = 0; I != Members.size(); ++I) {
@@ -172,72 +333,35 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index) const {
   return Rep;
 }
 
-BatchReport SynthEngine::run(const std::vector<SynthJob> &Jobs) const {
+BatchReport SynthEngine::run(const std::vector<SynthJob> &Jobs) {
   Timer Clock;
   BatchReport Rep;
   Rep.NumWorkers = Workers;
-  Rep.Reports.resize(Jobs.size());
+  Rep.Reports.reserve(Jobs.size());
   if (Jobs.empty())
     return Rep;
 
-  unsigned Pool =
-      static_cast<unsigned>(std::min<size_t>(Workers, Jobs.size()));
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Jobs.size());
+  for (const SynthJob &Job : Jobs)
+    Handles.push_back(submit(Job));
 
-  // Per-worker deques, jobs dealt round-robin.
-  std::vector<std::deque<size_t>> Queues(Pool);
-  std::vector<std::mutex> Locks(Pool);
-  for (size_t I = 0; I != Jobs.size(); ++I)
-    Queues[I % Pool].push_back(I);
-
-  auto PopOwn = [&](unsigned Me, size_t &Out) {
-    std::lock_guard<std::mutex> Lock(Locks[Me]);
-    if (Queues[Me].empty())
-      return false;
-    Out = Queues[Me].back();
-    Queues[Me].pop_back();
-    return true;
-  };
-  auto Steal = [&](unsigned Me, size_t &Out) {
-    for (unsigned Off = 1; Off != Pool; ++Off) {
-      unsigned Victim = (Me + Off) % Pool;
-      std::lock_guard<std::mutex> Lock(Locks[Victim]);
-      if (Queues[Victim].empty())
-        continue;
-      Out = Queues[Victim].front();
-      Queues[Victim].pop_front();
-      return true;
-    }
-    return false;
-  };
-
-  auto Work = [&](unsigned Me) {
-    size_t Idx = 0;
-    while (PopOwn(Me, Idx) || Steal(Me, Idx)) {
-      SynthReport R;
-      if (Opts.Stop.stopRequested()) {
-        // Batch cancelled: report the job Aborted without running it.
-        R.JobIndex = Idx;
-        R.JobName = Jobs[Idx].Name;
-        R.Result.Status = SynthStatus::Aborted;
-      } else {
-        R = runOneJob(Jobs[Idx], Idx);
-      }
-      Rep.Reports[Idx] = std::move(R); // Exclusive slot; no lock needed.
-    }
-  };
-
-  std::vector<std::thread> Threads;
-  Threads.reserve(Pool - 1);
-  for (unsigned W = 1; W < Pool; ++W)
-    Threads.emplace_back(Work, W);
-  Work(0);
-  for (std::thread &T : Threads)
-    T.join();
+  for (size_t I = 0; I != Handles.size(); ++I) {
+    SynthReport R = Handles[I].wait();
+    R.JobIndex = I; // Batch-relative, independent of other clients.
+    Rep.Reports.push_back(std::move(R));
+  }
 
   for (const SynthReport &R : Rep.Reports) {
-    mergeInto(Rep.Merged, R.Result.Stats);
+    Rep.Merged.mergeFrom(R.Result.Stats);
     for (const MemberOutcome &O : R.Members)
       Rep.TotalQueries += O.Queries;
+    if (R.FromCache)
+      ++Rep.EngineCacheHits;
+    else if (Opts.CacheResults && !R.Members.empty())
+      ++Rep.EngineCacheMisses; // Executed after a lookup failed;
+                               // cache-off runs and aborted-unrun jobs
+                               // are neither hits nor misses.
   }
   Rep.WallSeconds = Clock.seconds();
   return Rep;

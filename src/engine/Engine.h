@@ -6,22 +6,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The SynthEngine: runs a batch of SynthJobs on a fixed-size pool of
-/// worker threads with work stealing, and returns per-job SynthReports
-/// in job order plus merged batch statistics.
+/// The SynthEngine: a long-lived pool of worker threads consuming
+/// SynthJobs, with two front-ends over the same queue:
 ///
-/// Scheduling: jobs are dealt round-robin onto per-worker deques; a
-/// worker pops from the back of its own deque and, when empty, steals
-/// from the front of a sibling's. Jobs are coarse units (a whole
-/// synthesis search), so this simple locked-deque scheme is contention-
-/// free in practice — workers touch a lock once per job, not per search
-/// step.
+///  - submit(): asynchronous — returns a JobHandle the caller can
+///    poll/wait/cancel while streaming further jobs in. The pool and the
+///    caches stay warm between submissions, the service mode the ROADMAP
+///    asked for.
+///  - run(): the batch front-end — submits every job, waits for all, and
+///    returns per-job SynthReports in job order plus merged statistics.
+///
+/// Result cache: each job is keyed by its canonical digest
+/// (digestOf(SynthJob): scenario content + portfolio spec); a
+/// digest-identical job that already completed is served instantly with
+/// the recorded verdict, command sequence, and stats — isomorphic
+/// scenarios recur both within a batch and across batches, and
+/// re-synthesizing them is pure waste. Aborted results are never cached
+/// (they reflect budgets/cancellation, not the instance). The cache is
+/// sharded and thread-safe (support/ShardedCache.h) and lives as long as
+/// the engine, so warm batches also benefit. Checker-level memoization
+/// ("memo:<backend>" specs, mc/MemoizingChecker.h) is independent and
+/// composes: the engine cache dedups whole jobs, the check cache dedups
+/// individual queries across different jobs.
 ///
 /// Isolation: every job owns its Scenario by value and every portfolio
 /// member clones it again before building its private KripkeStructure
 /// and checker, so concurrent runs never share mutable state; the only
-/// cross-thread channels are the StopTokens and the report slots, each
-/// written by exactly one thread.
+/// cross-thread channels are the StopTokens, the sharded caches, and the
+/// per-job report slots, each completed under the job's own mutex.
 ///
 /// Portfolio mode: a job with several members runs them on dedicated
 /// threads racing for the first Success; the winner fires a shared
@@ -39,8 +51,27 @@
 
 #include "engine/Job.h"
 #include "engine/StopToken.h"
+#include "support/ShardedCache.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 namespace netupd {
+
+/// What the engine's result cache stores per job digest: the winning
+/// member's full result and its name. Everything per-submission
+/// (JobIndex, JobName, member outcomes, wall-clock) is reconstructed or
+/// left empty when serving.
+struct CachedJobResult {
+  SynthResult Result;
+  std::string Winner;
+};
+
+/// The engine-level result cache; shareable between engines.
+using ResultCache = ShardedDigestCache<CachedJobResult>;
 
 /// Engine configuration.
 struct EngineOptions {
@@ -48,29 +79,108 @@ struct EngineOptions {
   /// Portfolio members run on additional short-lived threads owned by
   /// the job that spawned them.
   unsigned NumWorkers = 0;
-  /// Cancels the whole batch when fired; remaining jobs are reported as
-  /// Aborted.
+  /// Cancels every queued and running job when fired; affected jobs are
+  /// reported as Aborted.
   StopToken Stop;
+  /// Serve digest-identical jobs from the result cache.
+  bool CacheResults = true;
+  /// The cache to use; null means the engine creates a private one that
+  /// lives as long as the engine. Pass a shared instance to pool results
+  /// across engines.
+  std::shared_ptr<ResultCache> Cache;
 };
 
-/// The batch engine; see file comment. Stateless between run() calls and
-/// safe to reuse.
+namespace detail {
+/// Shared state of one submitted job; the handle and the worker hold it
+/// jointly, so a handle stays valid after the engine is destroyed.
+struct JobState {
+  SynthJob Job;
+  size_t Index = 0;
+  StopSource Cancel;
+
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  SynthReport Rep;
+};
+} // namespace detail
+
+/// Caller's end of one submitted job. Cheap to copy; default-constructed
+/// handles are invalid.
+class JobHandle {
+public:
+  JobHandle() = default;
+
+  bool valid() const { return St != nullptr; }
+
+  /// True once the report is available; never blocks.
+  bool done() const;
+
+  /// Blocks until the job finishes and returns its report. The reference
+  /// stays valid for the handle's lifetime.
+  const SynthReport &wait() const;
+
+  /// Requests cooperative cancellation: a queued job is reported Aborted
+  /// without running; a running job's members stop at their next
+  /// checkpoint. Idempotent; a no-op once the job finished.
+  void cancel();
+
+private:
+  friend class SynthEngine;
+  explicit JobHandle(std::shared_ptr<detail::JobState> St)
+      : St(std::move(St)) {}
+
+  std::shared_ptr<detail::JobState> St;
+};
+
+/// The engine; see file comment. Thread-safe: submit() and run() may be
+/// called concurrently from several client threads.
 class SynthEngine {
 public:
   explicit SynthEngine(EngineOptions Opts = {});
 
+  /// Joins the pool. Jobs still queued are reported Aborted, so
+  /// outstanding handles unblock; jobs already running finish first.
+  ~SynthEngine();
+
+  SynthEngine(const SynthEngine &) = delete;
+  SynthEngine &operator=(const SynthEngine &) = delete;
+
+  /// Enqueues one job and returns immediately.
+  JobHandle submit(SynthJob Job);
+
   /// Runs every job and returns reports in job order. Blocks until the
-  /// batch finishes or Opts.Stop fires.
-  BatchReport run(const std::vector<SynthJob> &Jobs) const;
+  /// batch finishes or Opts.Stop fires; other clients' submissions
+  /// interleave on the same pool.
+  BatchReport run(const std::vector<SynthJob> &Jobs);
 
   /// The resolved pool size.
   unsigned numWorkers() const { return Workers; }
 
+  /// The engine's result cache (for stats, sharing, or clearing).
+  const std::shared_ptr<ResultCache> &resultCache() const { return Cache; }
+
 private:
-  SynthReport runOneJob(const SynthJob &Job, size_t Index) const;
+  void workerLoop();
+  void executeJob(detail::JobState &St);
+  SynthReport runOneJob(const SynthJob &Job, size_t Index,
+                        const StopToken &Stop) const;
 
   EngineOptions Opts;
   unsigned Workers;
+  std::shared_ptr<ResultCache> Cache;
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<std::shared_ptr<detail::JobState>> Queue;
+  bool ShuttingDown = false;
+  size_t NextIndex = 0;
+  /// Workers blocked waiting for a job; guarded by QueueMutex. submit()
+  /// only spawns a new thread (up to Workers) when no idle worker can
+  /// take the job, so small workloads never pay for the full pool.
+  unsigned IdleWorkers = 0;
+
+  std::vector<std::thread> Pool;
 };
 
 } // namespace netupd

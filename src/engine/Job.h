@@ -63,6 +63,13 @@ struct SynthJob {
 /// and the batch checker as a fallback whose per-query cost is flat.
 std::vector<PortfolioMember> defaultPortfolio(SynthOptions Base = {});
 
+/// Canonical digest of one job's *semantics*: the scenario digest plus
+/// every portfolio member's backend spec and result-relevant options
+/// (display names and stop tokens excluded; an empty portfolio digests
+/// as the default member it runs as). Two jobs with equal digests run
+/// the same search, so the engine's result cache keys on this.
+Digest digestOf(const SynthJob &Job);
+
 /// What happened to one portfolio member (or the sole configuration of a
 /// single-config job).
 struct MemberOutcome {
@@ -106,6 +113,11 @@ struct SynthReport {
   /// Wall-clock for the whole job (all members, including losers).
   double Seconds = 0.0;
   std::vector<MemberOutcome> Members;
+  /// True when the engine served this report from its result cache: an
+  /// earlier digest-identical job already ran, Result/Winner are that
+  /// run's (verdict, sequence, and stats included), and Members is empty
+  /// because no member executed.
+  bool FromCache = false;
 
   bool ok() const { return Result.ok(); }
 };
@@ -118,8 +130,13 @@ struct BatchReport {
   /// the totals are comparable across worker counts).
   SynthStats Merged;
   /// Checker queries served by every member, winners and losers alike —
-  /// the real work the hardware performed.
+  /// the real work the hardware performed. Cache-served jobs contribute
+  /// nothing, which is the point.
   uint64_t TotalQueries = 0;
+  /// Engine result-cache accounting for this batch: jobs served from the
+  /// cache versus jobs that actually executed.
+  uint64_t EngineCacheHits = 0;
+  uint64_t EngineCacheMisses = 0;
   double WallSeconds = 0.0;
   unsigned NumWorkers = 0;
 

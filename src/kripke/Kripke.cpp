@@ -54,6 +54,24 @@ KripkeStructure::KripkeStructure(const Topology &Topo, Config Cfg,
     for (unsigned C = 0; C != numClasses(); ++C)
       Initials.push_back(stateAt(C, static_cast<unsigned>(Local)));
   }
+
+  // Digest state: the immutable base plus the per-switch table digests
+  // that applySwitchUpdate/undo keep current (see digest()).
+  DigestBuilder Base;
+  Base.addDigest(digestOf(Topo));
+  Base.addU64(this->Classes.size());
+  for (const TrafficClass &C : this->Classes)
+    Base.addDigest(digestOf(C.Hdr));
+  BaseDigest = Base.finish();
+
+  TableDigests.resize(this->Cfg.numSwitches());
+  DigestBuilder CfgMeta;
+  CfgMeta.addU64(this->Cfg.numSwitches());
+  CfgXor = CfgMeta.finish();
+  for (SwitchId Sw = 0; Sw != this->Cfg.numSwitches(); ++Sw) {
+    TableDigests[Sw] = digestOf(this->Cfg.table(Sw));
+    CfgXor ^= configSlotDigest(Sw, TableDigests[Sw]);
+  }
 }
 
 StateInfo KripkeStructure::stateInfo(StateId S) const {
@@ -146,13 +164,24 @@ KripkeStructure::applySwitchUpdate(SwitchId Sw, const Table &NewTable,
   UndoRecord Undo;
   Undo.Sw = Sw;
   Undo.OldTable = Cfg.table(Sw);
+  Undo.OldTableDigest = TableDigests[Sw];
   Cfg.setTable(Sw, NewTable);
+
+  CfgXor ^= configSlotDigest(Sw, TableDigests[Sw]);
+  TableDigests[Sw] = digestOf(NewTable);
+  CfgXor ^= configSlotDigest(Sw, TableDigests[Sw]);
+
   recomputeSwitch(Sw, Undo.OldEdges, ChangedStates);
   return Undo;
 }
 
 void KripkeStructure::undo(const UndoRecord &Undo) {
   Cfg.setTable(Undo.Sw, Undo.OldTable);
+
+  CfgXor ^= configSlotDigest(Undo.Sw, TableDigests[Undo.Sw]);
+  TableDigests[Undo.Sw] = Undo.OldTableDigest;
+  CfgXor ^= configSlotDigest(Undo.Sw, TableDigests[Undo.Sw]);
+
   for (const auto &[S, Old] : Undo.OldEdges)
     setSuccs(S, Old);
 }

@@ -86,10 +86,28 @@ public:
   /// Renders "(sw T1, pt 3, class h1->h3)" for diagnostics.
   std::string stateName(StateId S) const;
 
+  /// Canonical digest of the structure's current semantic content:
+  /// topology, traffic classes, and the *current* configuration. The
+  /// configuration part is maintained incrementally Zobrist-style under
+  /// applySwitchUpdate/undo (O(|table|) per mutation), so every
+  /// recheckAfterUpdate site reads an up-to-date digest for free — the
+  /// key MemoizingChecker uses. Two structures with equal digests label
+  /// identically and number their states identically (construction is
+  /// deterministic from the digested content).
+  Digest digest() const {
+    DigestBuilder B;
+    B.addDigest(BaseDigest);
+    B.addDigest(CfgXor);
+    return B.finish();
+  }
+
   /// Record sufficient to undo one applySwitchUpdate / applyTableUpdate.
   struct UndoRecord {
     SwitchId Sw = 0;
     Table OldTable;
+    /// Digest of OldTable, saved so undo() restores the incremental
+    /// configuration digest without rehashing the table.
+    Digest OldTableDigest;
     /// (state, previous successor list) for every state whose edges
     /// changed.
     std::vector<std::pair<StateId, std::vector<StateId>>> OldEdges;
@@ -148,6 +166,12 @@ private:
   const Topology &Topo;
   Config Cfg;
   std::vector<TrafficClass> Classes;
+
+  /// Digest state; see digest(). BaseDigest covers topology + classes,
+  /// CfgXor is the XOR of configSlotDigest(sw, TableDigests[sw]).
+  Digest BaseDigest;
+  Digest CfgXor;
+  std::vector<Digest> TableDigests; // switch -> current table digest
 
   unsigned NumLocal = 0;
   std::vector<LocalState> Locs;              // local id -> location

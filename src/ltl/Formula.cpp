@@ -10,6 +10,7 @@
 #include "support/Strings.h"
 
 #include <cassert>
+#include <functional>
 
 using namespace netupd;
 
@@ -152,4 +153,42 @@ std::string netupd::printFormula(Formula F) {
   }
   assert(false && "unknown formula kind");
   return "?";
+}
+
+Digest netupd::digestOf(Formula F) {
+  // Post-order walk with per-call memoization: the factory's hash-consing
+  // makes formulas DAGs, so each shared node is digested once.
+  std::unordered_map<Formula, Digest> Memo;
+  std::function<Digest(Formula)> Walk = [&](Formula N) -> Digest {
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    DigestBuilder B;
+    B.addU64(static_cast<uint64_t>(N->kind()));
+    switch (N->kind()) {
+    case FKind::True:
+    case FKind::False:
+      break;
+    case FKind::Atom:
+    case FKind::NotAtom:
+      B.addU64(static_cast<uint64_t>(N->prop().K));
+      B.addU64(static_cast<uint64_t>(N->prop().F));
+      B.addU32(N->prop().Value);
+      break;
+    case FKind::Next:
+      B.addDigest(Walk(N->lhs()));
+      break;
+    case FKind::And:
+    case FKind::Or:
+    case FKind::Until:
+    case FKind::Release:
+      B.addDigest(Walk(N->lhs()));
+      B.addDigest(Walk(N->rhs()));
+      break;
+    }
+    Digest D = B.finish();
+    Memo.emplace(N, D);
+    return D;
+  };
+  return Walk(F);
 }

@@ -152,6 +152,12 @@ private:
 /// recognizing the F/G sugar.
 std::string printFormula(Formula F);
 
+/// Canonical *structural* digest of \p F: equal for structurally equal
+/// formulas even when built in different factories (pointer identity is
+/// factory-local, so cross-run caches key on this instead). Shared
+/// subterms are digested once per call.
+Digest digestOf(Formula F);
+
 } // namespace netupd
 
 #endif // NETUPD_LTL_FORMULA_H

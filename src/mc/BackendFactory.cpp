@@ -10,6 +10,7 @@
 #include "bddmc/SymbolicChecker.h"
 #include "hsa/HsaChecker.h"
 #include "mc/LabelingChecker.h"
+#include "mc/MemoizingChecker.h"
 #include "mc/NaiveTraceChecker.h"
 #include "topo/Scenario.h"
 
@@ -34,6 +35,15 @@ std::string lowered(const std::string &Name) {
 std::mutex &registryMutex() {
   static std::mutex M;
   return M;
+}
+
+/// The memoization spec prefix: "memo:<backend>" wraps <backend> in a
+/// MemoizingChecker sharing the process-wide CheckCache.
+constexpr const char MemoPrefix[] = "memo:";
+constexpr size_t MemoPrefixLen = sizeof(MemoPrefix) - 1;
+
+bool isMemoSpec(const std::string &LoweredName) {
+  return LoweredName.rfind(MemoPrefix, 0) == 0;
 }
 
 } // namespace
@@ -77,10 +87,17 @@ void BackendFactory::registerBackend(const std::string &Name,
 
 std::unique_ptr<CheckerBackend>
 BackendFactory::create(const std::string &Name, const Scenario &S) const {
+  std::string Key = lowered(Name);
+  if (isMemoSpec(Key)) {
+    std::unique_ptr<CheckerBackend> Inner =
+        create(Key.substr(MemoPrefixLen), S);
+    if (!Inner)
+      return nullptr;
+    return std::make_unique<MemoizingChecker>(std::move(Inner));
+  }
   BackendCtor Ctor;
   {
     std::lock_guard<std::mutex> Lock(registryMutex());
-    std::string Key = lowered(Name);
     for (const auto &[EntryName, EntryCtor] : Entries)
       if (EntryName == Key)
         Ctor = EntryCtor;
@@ -89,8 +106,10 @@ BackendFactory::create(const std::string &Name, const Scenario &S) const {
 }
 
 bool BackendFactory::known(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(registryMutex());
   std::string Key = lowered(Name);
+  if (isMemoSpec(Key))
+    return known(Key.substr(MemoPrefixLen));
+  std::lock_guard<std::mutex> Lock(registryMutex());
   return std::any_of(Entries.begin(), Entries.end(),
                      [&](const auto &E) { return E.first == Key; });
 }

@@ -19,6 +19,13 @@
 /// register additional configurations (e.g. a tuned checker variant)
 /// under new names. Lookup is case-insensitive.
 ///
+/// Memoization specs: the reserved prefix "memo:" wraps any resolvable
+/// spec in a MemoizingChecker sharing the process-wide CheckCache —
+/// "memo:incremental", "memo:batch", even "memo:memo:hsa" (harmless).
+/// The prefix composes at lookup time, so every registered backend gets
+/// a memoized variant without separate registration; names() lists only
+/// the underlying entries.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_MC_BACKENDFACTORY_H

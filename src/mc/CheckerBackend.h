@@ -80,11 +80,20 @@ public:
   /// Number of model-checking calls served so far (for the §6
   /// micro-comparison of checkers on identical query streams). Every
   /// backend increments exactly once per bind() and once per
-  /// recheckAfterUpdate(). Atomic so engine threads may read a racing
-  /// backend's progress; a backend itself is still single-threaded.
+  /// recheckAfterUpdate() — except MemoizingChecker, which counts only
+  /// the calls its inner backend actually computed, so numQueries() is
+  /// always "real checking work performed". Atomic so engine threads may
+  /// read a racing backend's progress; a backend itself is still
+  /// single-threaded.
   unsigned numQueries() const {
     return Queries.load(std::memory_order_relaxed);
   }
+
+  /// Memoization counters; nonzero only for caching decorators
+  /// (MemoizingChecker). The synthesizer copies them into
+  /// SynthStats::CacheHits/CacheMisses so they surface in engine reports.
+  virtual uint64_t cacheHits() const { return 0; }
+  virtual uint64_t cacheMisses() const { return 0; }
 
 protected:
   std::atomic<unsigned> Queries{0};

@@ -1,0 +1,116 @@
+//===- mc/MemoizingChecker.h - Memoizing checker decorator -----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CheckerBackend decorator that memoizes check results in a shared,
+/// thread-safe cache keyed on (structure digest, property digest, inner
+/// backend). The engine's batches replay near-identical query streams —
+/// duplicate scenarios, portfolio members crossing the same intermediate
+/// configurations at different granularities — and every repeated
+/// (configuration, property) pair is served from the cache instead of
+/// being re-verified.
+///
+/// The synthesis DFS drives backends in a stack discipline (mutate,
+/// recheck, rollback), and the decorator must keep its *stateful* inner
+/// backend consistent while skipping calls. It tracks the frame depth
+/// the inner backend last reflected: on a cache hit the inner backend is
+/// simply not advanced; on a later miss at a depth the inner backend no
+/// longer matches, the decorator re-binds it against the current
+/// structure (a full check — still one query) and resumes incremental
+/// operation from there. Re-binding clears the inner backend's own undo
+/// stack, so earlier frames it served are marked dead and rollbacks
+/// through them are absorbed without forwarding.
+///
+/// Digest-equal structures label identically and number states
+/// identically (kripke/Kripke.h), so cached CheckResults — including
+/// counterexample traces — are valid verbatim across jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_MC_MEMOIZINGCHECKER_H
+#define NETUPD_MC_MEMOIZINGCHECKER_H
+
+#include "mc/CheckerBackend.h"
+#include "support/ShardedCache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace netupd {
+
+/// The query-result cache: a sharded, thread-safe map from (structure,
+/// property, backend) digest to CheckResult, shared by every
+/// MemoizingChecker handed the same instance (racing portfolio members,
+/// engine workers).
+using CheckCache = ShardedDigestCache<CheckResult>;
+
+/// The decorator; see file comment. Construct via
+/// BackendFactory ("memo:<backend>", process-wide cache) or directly
+/// with an injected cache for isolated runs.
+class MemoizingChecker : public CheckerBackend {
+public:
+  /// Wraps \p Inner; \p Cache defaults to the process-wide cache.
+  explicit MemoizingChecker(std::unique_ptr<CheckerBackend> Inner,
+                            std::shared_ptr<CheckCache> Cache = nullptr);
+
+  /// The process-wide cache used by factory-built "memo:" backends.
+  static const std::shared_ptr<CheckCache> &processCache();
+
+  CheckResult bind(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
+  void notifyRollback() override;
+  bool providesCounterexamples() const override {
+    return Inner->providesCounterexamples();
+  }
+  const char *name() const override { return NameStr.c_str(); }
+
+  uint64_t cacheHits() const override { return Hits; }
+  uint64_t cacheMisses() const override { return Misses; }
+
+  CheckerBackend &inner() { return *Inner; }
+
+private:
+  /// What happened to the inner backend at one stack frame.
+  enum class FrameKind : uint8_t {
+    Hit,         ///< Served from cache; inner backend untouched.
+    Recheck,     ///< Forwarded incrementally; inner has a matching frame.
+    DeadRecheck, ///< Was Recheck, but a later re-bind wiped inner's stack.
+    Rebind       ///< Inner re-bound from scratch at this frame's depth.
+  };
+
+  /// The cache key for the current structure content and property.
+  Digest currentKey() const;
+
+  /// True if the inner backend reflects the structure at frame depth
+  /// \p Depth (so an incremental recheck from it is sound).
+  bool innerSyncedAt(size_t Depth) const {
+    return SyncedDepth >= 0 && static_cast<size_t>(SyncedDepth) == Depth;
+  }
+
+  std::unique_ptr<CheckerBackend> Inner;
+  std::shared_ptr<CheckCache> Cache;
+  std::string NameStr;
+
+  KripkeStructure *K = nullptr;
+  Formula Phi = nullptr;
+  Digest PhiDigest;
+  Digest InnerNameDigest;
+
+  /// Frame depth the inner backend currently reflects: 0 after a real
+  /// bind, Frames.size() after a forwarded recheck or a re-bind, -1 when
+  /// the inner backend matches no reachable depth (bind served from
+  /// cache, or rolled back past a re-bind).
+  long SyncedDepth = -1;
+  std::vector<FrameKind> Frames;
+
+  uint64_t Hits = 0, Misses = 0;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_MC_MEMOIZINGCHECKER_H

@@ -77,3 +77,19 @@ void netupd::installPath(const Topology &Topo, Config &Cfg,
     Cfg.setTable(Path[I], Table(std::move(Kept)));
   }
 }
+
+Digest netupd::configSlotDigest(SwitchId Sw, const Digest &TableDigest) {
+  DigestBuilder B;
+  B.addU32(Sw);
+  B.addDigest(TableDigest);
+  return B.finish();
+}
+
+Digest netupd::digestOf(const Config &C) {
+  DigestBuilder Meta;
+  Meta.addU64(C.numSwitches());
+  Digest D = Meta.finish();
+  for (SwitchId Sw = 0; Sw != C.numSwitches(); ++Sw)
+    D ^= configSlotDigest(Sw, digestOf(C.table(Sw)));
+  return D;
+}

@@ -67,6 +67,16 @@ private:
   std::vector<Table> Tables;
 };
 
+/// Zobrist-style slot digest: the contribution of (switch \p Sw holding a
+/// table with digest \p TableDigest) to a configuration digest. A Config
+/// digest is the XOR of its slot digests (plus the switch count), so
+/// replacing one table is an O(|table|) digest update — the incremental
+/// maintenance KripkeStructure performs under mutate/rollback.
+Digest configSlotDigest(SwitchId Sw, const Digest &TableDigest);
+
+/// Canonical digest of a whole configuration, computed from scratch.
+Digest digestOf(const Config &C);
+
 /// Returns the switches whose tables differ between \p From and \p To —
 /// the switches ORDERUPDATE must update.
 std::vector<SwitchId> diffSwitches(const Config &From, const Config &To);

@@ -61,3 +61,21 @@ std::string Pattern::str() const {
     return "{*}";
   return "{" + join(Parts, ", ") + "}";
 }
+
+Digest netupd::digestOf(const Header &H) {
+  DigestBuilder B;
+  for (uint32_t V : H.Values)
+    B.addU32(V);
+  return B.finish();
+}
+
+Digest netupd::digestOf(const Pattern &P) {
+  DigestBuilder B;
+  B.addBool(P.InPort.has_value());
+  B.addU32(P.InPort ? *P.InPort : 0);
+  for (const std::optional<uint32_t> &V : P.Values) {
+    B.addBool(V.has_value());
+    B.addU32(V ? *V : 0);
+  }
+  return B.finish();
+}

@@ -16,6 +16,8 @@
 #ifndef NETUPD_NET_PACKET_H
 #define NETUPD_NET_PACKET_H
 
+#include "support/Digest.h"
+
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -115,6 +117,11 @@ struct Pattern {
   /// Renders as "{port=3, dst=2}" (only present components).
   std::string str() const;
 };
+
+/// Canonical content digests (support/Digest.h); equal values get equal
+/// digests across processes and builds.
+Digest digestOf(const Header &H);
+Digest digestOf(const Pattern &P);
 
 } // namespace netupd
 

@@ -66,3 +66,33 @@ std::string Table::str() const {
     Lines.push_back("  " + R.str());
   return "table {\n" + join(Lines, "\n") + "\n}";
 }
+
+Digest netupd::digestOf(const Action &A) {
+  DigestBuilder B;
+  B.addU64(static_cast<uint64_t>(A.K));
+  if (A.K == Action::Kind::Forward) {
+    B.addU32(A.OutPort);
+  } else {
+    B.addU64(static_cast<uint64_t>(A.F));
+    B.addU32(A.Value);
+  }
+  return B.finish();
+}
+
+Digest netupd::digestOf(const Rule &R) {
+  DigestBuilder B;
+  B.addU32(R.Priority);
+  B.addDigest(digestOf(R.Pat));
+  B.addU64(R.Actions.size());
+  for (const Action &A : R.Actions)
+    B.addDigest(digestOf(A));
+  return B.finish();
+}
+
+Digest netupd::digestOf(const Table &T) {
+  DigestBuilder B;
+  B.addU64(T.size());
+  for (const Rule &R : T.rules())
+    B.addDigest(digestOf(R));
+  return B.finish();
+}

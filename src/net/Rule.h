@@ -123,6 +123,13 @@ private:
   std::vector<Rule> Rules;
 };
 
+/// Canonical content digests. A table's digest is order-sensitive: rule
+/// order is semantic (equal priorities tie-break by index in
+/// Table::matchIndex).
+Digest digestOf(const Action &A);
+Digest digestOf(const Rule &R);
+Digest digestOf(const Table &T);
+
 } // namespace netupd
 
 #endif // NETUPD_NET_RULE_H

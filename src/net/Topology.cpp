@@ -94,3 +94,24 @@ std::vector<Location> Topology::egressLocations() const {
       Egresses.push_back(L.From);
   return Egresses;
 }
+
+Digest netupd::digestOf(const Topology &T) {
+  DigestBuilder B;
+  B.addU64(T.numSwitches());
+  B.addU64(T.numHosts());
+  B.addU64(T.numPorts());
+  for (PortId P = 0; P != T.numPorts(); ++P)
+    B.addU32(T.portOwner(P));
+  B.addU64(T.numLinks());
+  for (const Link &L : T.links())
+    for (const Location &Loc : {L.From, L.To}) {
+      B.addBool(Loc.isHost());
+      if (Loc.isHost())
+        B.addU32(Loc.Host);
+      else {
+        B.addU32(Loc.Switch);
+        B.addU32(Loc.Port);
+      }
+    }
+  return B.finish();
+}

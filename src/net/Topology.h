@@ -154,6 +154,12 @@ private:
   std::vector<Link> Links;
 };
 
+/// Canonical digest over the interconnect structure (switch/host/port
+/// counts, port ownership, links). Display names are excluded so renamed
+/// but otherwise identical topologies share a digest — the memoization
+/// caches key on what the checkers can observe.
+Digest digestOf(const Topology &T);
+
 } // namespace netupd
 
 #endif // NETUPD_NET_TOPOLOGY_H

@@ -1,0 +1,114 @@
+//===- support/ShardedCache.h - Sharded digest-keyed cache -----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe map from canonical Digest to an arbitrary value,
+/// sharded by digest so concurrent engine workers and racing portfolio
+/// members rarely contend on the same mutex. Both memoization layers
+/// instantiate it: the checker-level CheckCache (mc/MemoizingChecker.h,
+/// values are CheckResults) and the engine-level ResultCache
+/// (engine/Engine.h, values are whole synthesis reports).
+///
+/// Bounded but eviction-free: once a shard is full, new results are
+/// dropped. Repeated workloads saturate the useful entries early, and
+/// dropping keeps the hot path to one lock + one hash probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SUPPORT_SHARDEDCACHE_H
+#define NETUPD_SUPPORT_SHARDEDCACHE_H
+
+#include "support/Digest.h"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace netupd {
+
+/// Aggregate counters of one cache; hits/misses are counted by lookup().
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  size_t Entries = 0;
+
+  double hitRate() const {
+    return Hits + Misses ? static_cast<double>(Hits) / (Hits + Misses)
+                         : 0.0;
+  }
+};
+
+/// The sharded map; see file comment. \p V must be copyable (lookup
+/// returns a copy so no reference escapes the shard lock).
+template <typename V> class ShardedDigestCache {
+public:
+  explicit ShardedDigestCache(size_t MaxEntries = 1 << 20)
+      : ShardCap(MaxEntries / NumShards + 1) {}
+
+  /// Returns the cached value for \p Key, counting a hit or miss.
+  std::optional<V> lookup(const Digest &Key) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+
+  /// Stores \p Value under \p Key; a no-op when the shard is full or the
+  /// key is already present (first result wins — results for one key are
+  /// interchangeable by construction).
+  void store(const Digest &Key, V Value) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.Map.size() >= ShardCap)
+      return;
+    S.Map.emplace(Key, std::move(Value));
+  }
+
+  CacheStats stats() const {
+    CacheStats Out;
+    Out.Hits = Hits.load(std::memory_order_relaxed);
+    Out.Misses = Misses.load(std::memory_order_relaxed);
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      Out.Entries += S.Map.size();
+    }
+    return Out;
+  }
+
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      S.Map.clear();
+    }
+    Hits.store(0, std::memory_order_relaxed);
+    Misses.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr unsigned NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<Digest, V, DigestHash> Map;
+  };
+  Shard &shardFor(const Digest &Key) {
+    return Shards[DigestHash()(Key) % NumShards];
+  }
+
+  Shard Shards[NumShards];
+  const size_t ShardCap;
+  std::atomic<uint64_t> Hits{0}, Misses{0};
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SUPPORT_SHARDEDCACHE_H

@@ -400,7 +400,10 @@ SynthResult netupd::synthesizeUpdate(const Topology &Topo,
                                      const SynthOptions &Opts) {
   OrderUpdateSearch Search(Topo, Initial, Final, Classes, Phi, Checker,
                            Opts);
-  return Search.run();
+  SynthResult Result = Search.run();
+  Result.Stats.CacheHits = Checker.cacheHits();
+  Result.Stats.CacheMisses = Checker.cacheMisses();
+  return Result;
 }
 
 SynthResult netupd::synthesizeUpdate(const Scenario &S, FormulaFactory &FF,

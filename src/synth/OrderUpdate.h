@@ -61,11 +61,32 @@ struct SynthStats {
   uint64_t VisitedPrunes = 0;
   uint64_t CexPrunes = 0;
   uint64_t SatClauses = 0;
+  /// Checker-memoization counters (CheckerBackend::cacheHits/Misses),
+  /// captured when the run finishes; zero for non-memoizing backends.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
   bool EarlyTerminated = false;
   unsigned WaitsBeforeRemoval = 0;
   unsigned WaitsAfterRemoval = 0;
   double SynthSeconds = 0.0;
   double WaitRemovalSeconds = 0.0;
+
+  /// Accumulates every counter of \p S into this. The single merging
+  /// point — the engine's batch aggregation uses it, so a field added
+  /// here is summed everywhere (counters sum, flags OR).
+  void mergeFrom(const SynthStats &S) {
+    CheckCalls += S.CheckCalls;
+    VisitedPrunes += S.VisitedPrunes;
+    CexPrunes += S.CexPrunes;
+    SatClauses += S.SatClauses;
+    CacheHits += S.CacheHits;
+    CacheMisses += S.CacheMisses;
+    EarlyTerminated |= S.EarlyTerminated;
+    WaitsBeforeRemoval += S.WaitsBeforeRemoval;
+    WaitsAfterRemoval += S.WaitsAfterRemoval;
+    SynthSeconds += S.SynthSeconds;
+    WaitRemovalSeconds += S.WaitRemovalSeconds;
+  }
 };
 
 /// Outcome of a synthesis run.

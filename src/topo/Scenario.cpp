@@ -382,3 +382,23 @@ netupd::makeDoubleDiamondScenario(const Topology &Base, Rng &R,
   S.Flows.push_back(std::move(Rev));
   return S;
 }
+
+Digest netupd::digestOf(const Scenario &S) {
+  DigestBuilder B;
+  B.addDigest(digestOf(S.Topo));
+  B.addDigest(digestOf(S.Initial));
+  B.addDigest(digestOf(S.Final));
+  B.addU64(static_cast<uint64_t>(S.Kind));
+  B.addU64(S.Flows.size());
+  for (const FlowSpec &F : S.Flows) {
+    B.addDigest(digestOf(F.Class.Hdr));
+    B.addU32(F.SrcHost);
+    B.addU32(F.DstHost);
+    B.addU32(F.SrcPort);
+    B.addU32(F.DstPort);
+    B.addU64(F.Waypoints.size());
+    for (SwitchId W : F.Waypoints)
+      B.addU32(W);
+  }
+  return B.finish();
+}

@@ -100,6 +100,14 @@ makeDoubleDiamondScenario(const Topology &Base, Rng &R,
 /// and final configurations — the "switches updating" measure of Fig. 8.
 unsigned numUpdatingSwitches(const Scenario &S);
 
+/// Canonical digest of a whole synthesis problem: topology structure,
+/// both configurations, property kind, and the semantic flow fields
+/// (class headers, endpoints, waypoints). Display names and the
+/// diagnostic Initial/FinalPath fields are excluded, so two jobs that
+/// would run the same search share a digest — the key of the engine's
+/// result cache.
+Digest digestOf(const Scenario &S);
+
 } // namespace netupd
 
 #endif // NETUPD_TOPO_SCENARIO_H

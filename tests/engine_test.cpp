@@ -16,6 +16,7 @@
 
 #include "engine/Engine.h"
 #include "mc/BackendFactory.h"
+#include "mc/MemoizingChecker.h"
 #include "mc/NaiveTraceChecker.h"
 #include "topo/Generators.h"
 
@@ -24,6 +25,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 using namespace netupd;
 using namespace netupd::testutil;
@@ -259,6 +263,215 @@ TEST(SynthEngineTest, BatchStopTokenAbortsRemainingJobs) {
   for (const SynthReport &R : Rep.Reports)
     EXPECT_EQ(R.Result.Status, SynthStatus::Aborted);
   EXPECT_EQ(Rep.TotalQueries, 0u);
+}
+
+// A batch containing duplicate scenarios must report engine-cache hits
+// and perform fewer queries than the same batch with caching disabled,
+// while returning identical per-job verdicts and command sequences.
+TEST(SynthEngineTest, DuplicateScenariosServedFromResultCache) {
+  std::vector<SynthJob> Jobs;
+  for (uint64_t Seed : {50, 51, 52}) {
+    SynthJob Job;
+    Job.Name = "diamond-" + std::to_string(Seed);
+    Job.S = smallDiamond(Seed);
+    Jobs.push_back(Job);
+    // A digest-identical duplicate under a different display name.
+    Job.Name += "-dup";
+    Jobs.push_back(std::move(Job));
+  }
+
+  EngineOptions Cold;
+  Cold.NumWorkers = 2;
+  Cold.CacheResults = false;
+  SynthEngine ColdEngine(Cold);
+  BatchReport ColdRep = ColdEngine.run(Jobs);
+  EXPECT_EQ(ColdRep.EngineCacheHits, 0u);
+
+  EngineOptions Warm;
+  Warm.NumWorkers = 1; // Deterministic execution order: dup follows prime.
+  SynthEngine WarmEngine(Warm);
+  BatchReport WarmRep = WarmEngine.run(Jobs);
+
+  EXPECT_EQ(WarmRep.EngineCacheHits, 3u);
+  EXPECT_EQ(WarmRep.EngineCacheMisses, 3u);
+  EXPECT_LT(WarmRep.TotalQueries, ColdRep.TotalQueries);
+
+  ASSERT_EQ(WarmRep.Reports.size(), ColdRep.Reports.size());
+  for (size_t I = 0; I != WarmRep.Reports.size(); ++I) {
+    const SynthReport &W = WarmRep.Reports[I];
+    const SynthReport &C = ColdRep.Reports[I];
+    EXPECT_EQ(W.Result.Status, C.Result.Status) << "job " << I;
+    EXPECT_EQ(W.Result.Commands.size(), C.Result.Commands.size())
+        << "job " << I;
+    EXPECT_EQ(W.JobName, Jobs[I].Name);
+    if (W.FromCache) {
+      EXPECT_TRUE(W.Members.empty());
+    }
+    if (W.ok())
+      expectCorrectSequence(Jobs[I].S, W);
+  }
+
+  // The cache persists across run() calls on the same engine: replaying
+  // the batch is all hits.
+  BatchReport Replay = WarmEngine.run(Jobs);
+  EXPECT_EQ(Replay.EngineCacheHits, Jobs.size());
+  EXPECT_EQ(Replay.TotalQueries, 0u);
+  EXPECT_GT(WarmEngine.resultCache()->stats().Hits, 0u);
+}
+
+// memo:<backend> must agree with <backend> on the verdict for every
+// backend in the registry when raced by the engine.
+TEST(SynthEngineTest, MemoBackendsAgreeWithPlainOnes) {
+  MemoizingChecker::processCache()->clear();
+  for (uint64_t Seed : {60, 61}) {
+    Scenario S = smallDiamond(Seed);
+    for (const std::string &Name : BackendFactory::instance().names()) {
+      SynthStatus Verdicts[2];
+      for (unsigned Memo = 0; Memo != 2; ++Memo) {
+        SynthJob Job;
+        Job.S = S;
+        PortfolioMember M;
+        M.Backend = Memo ? "memo:" + Name : Name;
+        Job.Portfolio.push_back(std::move(M));
+        EngineOptions EO;
+        EO.NumWorkers = 1;
+        SynthEngine Engine(EO);
+        BatchReport Rep = Engine.run({Job});
+        EXPECT_TRUE(Rep.Reports[0].Members[0].Error.empty())
+            << Rep.Reports[0].Members[0].Error;
+        Verdicts[Memo] = Rep.Reports[0].Result.Status;
+        if (Memo) {
+          // Cache-hit/miss counters surface in the merged batch stats.
+          EXPECT_GT(Rep.Merged.CacheHits + Rep.Merged.CacheMisses, 0u)
+              << Name;
+        }
+      }
+      EXPECT_EQ(Verdicts[0], Verdicts[1]) << Name << " seed " << Seed;
+    }
+  }
+}
+
+namespace {
+
+/// A backend that blocks in bind() until released — gives the async
+/// tests deterministic control over when a job occupies a worker.
+class GateChecker : public CheckerBackend {
+public:
+  explicit GateChecker(std::shared_ptr<std::atomic<bool>> Open)
+      : Open(std::move(Open)) {}
+
+  CheckResult bind(KripkeStructure &, Formula) override {
+    while (!Open->load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++Queries;
+    CheckResult R;
+    R.Holds = true;
+    return R;
+  }
+  CheckResult recheckAfterUpdate(const UpdateInfo &) override {
+    ++Queries;
+    CheckResult R;
+    R.Holds = true; // Accept everything: the search succeeds immediately.
+    return R;
+  }
+  void notifyRollback() override {}
+  bool providesCounterexamples() const override { return false; }
+  const char *name() const override { return "Gate"; }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Open;
+};
+
+} // namespace
+
+// Async front-end: submit returns immediately, poll observes completion,
+// wait returns the report, and handles outlive batches.
+TEST(SynthEngineTest, AsyncSubmitPollWait) {
+  auto Open = std::make_shared<std::atomic<bool>>(false);
+  BackendFactory::instance().registerBackend(
+      "gate-async", [Open](const Scenario &) {
+        return std::make_unique<GateChecker>(Open);
+      });
+
+  EngineOptions EO;
+  EO.NumWorkers = 1;
+  SynthEngine Engine(EO);
+
+  SynthJob Gated;
+  Gated.Name = "gated";
+  Gated.S = smallDiamond(70);
+  Gated.Portfolio.emplace_back();
+  Gated.Portfolio[0].Backend = "gate-async";
+
+  SynthJob Plain;
+  Plain.Name = "plain";
+  Plain.S = smallDiamond(71);
+
+  JobHandle GatedHandle = Engine.submit(Gated);
+  JobHandle PlainHandle = Engine.submit(Plain);
+  ASSERT_TRUE(GatedHandle.valid());
+  ASSERT_TRUE(PlainHandle.valid());
+  EXPECT_FALSE(JobHandle().valid());
+
+  // One worker, blocked in the gate: nothing can be done yet.
+  EXPECT_FALSE(GatedHandle.done());
+  EXPECT_FALSE(PlainHandle.done());
+
+  Open->store(true);
+  const SynthReport &GatedRep = GatedHandle.wait();
+  EXPECT_EQ(GatedRep.Result.Status, SynthStatus::Success);
+  EXPECT_EQ(GatedRep.JobName, "gated");
+  const SynthReport &PlainRep = PlainHandle.wait();
+  EXPECT_EQ(PlainRep.Result.Status, SynthStatus::Success);
+  EXPECT_TRUE(GatedHandle.done());
+}
+
+// Cancellation semantics: a queued job cancelled before a worker reaches
+// it aborts without running; a running job aborts at its next
+// checkpoint; cancelling a finished job is a no-op.
+TEST(SynthEngineTest, AsyncCancelQueuedAndRunningJobs) {
+  auto Open = std::make_shared<std::atomic<bool>>(false);
+  BackendFactory::instance().registerBackend(
+      "gate-cancel", [Open](const Scenario &) {
+        return std::make_unique<GateChecker>(Open);
+      });
+
+  EngineOptions EO;
+  EO.NumWorkers = 1;
+  SynthEngine Engine(EO);
+
+  SynthJob Running;
+  Running.Name = "running";
+  Running.S = smallDiamond(72);
+  Running.Portfolio.emplace_back();
+  Running.Portfolio[0].Backend = "gate-cancel";
+
+  SynthJob Queued;
+  Queued.Name = "queued";
+  Queued.S = smallDiamond(73);
+
+  JobHandle RunningHandle = Engine.submit(Running);
+  JobHandle QueuedHandle = Engine.submit(Queued);
+
+  // Cancel both while the single worker is blocked inside the first.
+  QueuedHandle.cancel();
+  RunningHandle.cancel();
+  Open->store(true);
+
+  // The running job passes its post-bind stop checkpoint and aborts; the
+  // queued job is reported aborted without ever running.
+  EXPECT_EQ(RunningHandle.wait().Result.Status, SynthStatus::Aborted);
+  const SynthReport &QueuedRep = QueuedHandle.wait();
+  EXPECT_EQ(QueuedRep.Result.Status, SynthStatus::Aborted);
+  EXPECT_TRUE(QueuedRep.Members.empty()) << "cancelled before running";
+  EXPECT_FALSE(QueuedRep.FromCache);
+  QueuedHandle.cancel(); // No-op on a finished job.
+
+  // An aborted job must not poison the result cache: resubmitting the
+  // same scenario (uncancelled) runs it for real.
+  JobHandle Retry = Engine.submit(Queued);
+  EXPECT_EQ(Retry.wait().Result.Status, SynthStatus::Success);
+  EXPECT_FALSE(Retry.wait().FromCache);
 }
 
 TEST(StopTokenTest, Basics) {
