@@ -17,11 +17,15 @@
 /// switch-granularity member alone would prove Impossible. A third
 /// section measures the two memoization layers on a duplicate-heavy
 /// batch: the engine result cache (whole jobs) and the checker-level
-/// "memo:" cache (individual queries).
+/// "memo:" cache (individual queries). A fourth section measures
+/// *intra-job* shard scaling: the same batch on a single engine worker
+/// with the DFS prefix-split across 1/2/4 shards
+/// (EngineOptions::IntraJobShards), verdicts asserted stable.
 ///
 /// Everything measured is also written to BENCH_engine.json (jobs/sec,
-/// TotalQueries, cache hit rates) so the perf trajectory is tracked
-/// machine-readably from PR 2 onward.
+/// TotalQueries, cache hit rates, shard speedups) so the perf trajectory
+/// is tracked machine-readably from PR 2 onward; CI archives the file
+/// per run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -90,6 +94,16 @@ struct SweepPoint {
   unsigned Succeeded = 0;
 };
 
+/// One intra-job shard-count measurement for the JSON report.
+struct ShardPoint {
+  unsigned Shards = 0;
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  double Speedup = 1.0;
+  uint64_t TotalQueries = 0;
+  unsigned Succeeded = 0;
+};
+
 /// One caching-mode measurement for the JSON report.
 struct CachePoint {
   const char *Mode = "";
@@ -112,7 +126,8 @@ struct CachePoint {
 /// Writes everything measured to BENCH_engine.json.
 void writeJson(double Scale, size_t SweepJobs,
                const std::vector<SweepPoint> &Sweep, size_t CacheJobs,
-               const std::vector<CachePoint> &CacheRuns) {
+               const std::vector<CachePoint> &CacheRuns,
+               const std::vector<ShardPoint> &ShardRuns) {
   FILE *F = std::fopen("BENCH_engine.json", "w");
   if (!F) {
     std::printf("warning: cannot write BENCH_engine.json\n");
@@ -149,6 +164,18 @@ void writeJson(double Scale, size_t SweepJobs,
         P.engineHitRate(), static_cast<unsigned long long>(P.MemoHits),
         static_cast<unsigned long long>(P.MemoMisses), P.memoHitRate(),
         I + 1 == CacheRuns.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"shards\": [\n");
+  for (size_t I = 0; I != ShardRuns.size(); ++I) {
+    const ShardPoint &P = ShardRuns[I];
+    std::fprintf(F,
+                 "    {\"shards\": %u, \"wall_seconds\": %.6f, "
+                 "\"jobs_per_sec\": %.3f, \"speedup\": %.3f, "
+                 "\"total_queries\": %llu, \"succeeded\": %u}%s\n",
+                 P.Shards, P.WallSeconds, P.JobsPerSec, P.Speedup,
+                 static_cast<unsigned long long>(P.TotalQueries),
+                 P.Succeeded, I + 1 == ShardRuns.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
@@ -323,6 +350,88 @@ int main(int Argc, char **Argv) {
          format("%.0f%%", 100 * P.memoHitRate())},
         {9, 10, 9, 9, 10, 10});
 
-  writeJson(Scale, Jobs.size(), Sweep, CacheJobs.size(), CacheRuns);
+  banner("intra-job shard scaling: prefix-split DFS, 1 engine worker");
+  // One worker isolates the new parallelism: any speedup here comes from
+  // sharding the DFS inside each job, not from running jobs in parallel.
+  // The workload is exhaustive-search-heavy on purpose: Fig. 8(h)
+  // double diamonds at switch granularity prove Impossible only by
+  // visiting the whole pruned tree, which is exactly the work the
+  // V-claim discipline splits across shards without duplication.
+  // (Feasible instances that succeed on their first branch gain little
+  // from sharding and mostly measure its overhead.)
+  std::vector<SynthJob> ShardJobs;
+  {
+    Rng SR(23);
+    DiamondOptions DO;
+    DO.LongPaths = true; // Long branches: a tree worth splitting.
+    unsigned N = std::max(3u, static_cast<unsigned>(3 * Scale));
+    for (unsigned I = 0; ShardJobs.size() < N && I != 4 * N; ++I) {
+      Rng Fork = SR.fork();
+      Topology Base = buildSmallWorld(96, 4, 0.2, Fork);
+      std::optional<Scenario> S = makeDoubleDiamondScenario(Base, Fork, DO);
+      if (!S)
+        continue;
+      SynthJob Job;
+      Job.Name = "ddiamond-exhaust-" + std::to_string(ShardJobs.size());
+      Job.S = std::move(*S);
+      Job.Portfolio.emplace_back(); // incremental, switch granularity.
+      // Leave the SAT layer out: it proves these instances Impossible
+      // after a handful of counterexamples, which is great for latency
+      // but leaves no tree for the shards to split. V/W pruning stays
+      // on — shards share both — so the exhaustion is still the pruned
+      // tree, just walked to the end.
+      Job.Portfolio[0].Opts.EarlyTermination = false;
+      ShardJobs.push_back(std::move(Job));
+    }
+  }
+  std::printf("batch: %zu switch-granularity double diamonds "
+              "(exhaustive Impossible proofs)\n",
+              ShardJobs.size());
+  row({"shards", "wall(s)", "speedup", "prf", "queries"}, {9, 10, 9, 5, 10});
+  std::vector<ShardPoint> ShardRuns;
+  double ShardBaseSeconds = 0.0;
+  std::vector<SynthStatus> ShardBaseVerdicts;
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    EngineOptions EO;
+    EO.NumWorkers = 1;
+    EO.CacheResults = false;
+    EO.IntraJobShards = Shards;
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(ShardJobs);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (Shards == 1) {
+      ShardBaseSeconds = Rep.WallSeconds;
+      ShardBaseVerdicts = Verdicts;
+    } else if (Verdicts != ShardBaseVerdicts) {
+      std::printf("ERROR: verdicts changed at %u shards\n", Shards);
+      return 1;
+    }
+
+    ShardPoint P;
+    P.Shards = Shards;
+    P.WallSeconds = Rep.WallSeconds;
+    P.JobsPerSec =
+        Rep.WallSeconds > 0
+            ? static_cast<double>(ShardJobs.size()) / Rep.WallSeconds
+            : 0.0;
+    P.Speedup = Rep.WallSeconds > 0 ? ShardBaseSeconds / Rep.WallSeconds
+                                    : 1.0;
+    P.TotalQueries = Rep.TotalQueries;
+    P.Succeeded = Rep.numSucceeded();
+    ShardRuns.push_back(P);
+
+    row({std::to_string(Shards), format("%.3f", Rep.WallSeconds),
+         format("%.2fx", P.Speedup),
+         std::to_string(ShardJobs.size() - Rep.numSucceeded()) + "/" +
+             std::to_string(Rep.Reports.size()),
+         std::to_string(Rep.TotalQueries)},
+        {9, 10, 9, 5, 10});
+  }
+
+  writeJson(Scale, Jobs.size(), Sweep, CacheJobs.size(), CacheRuns,
+            ShardRuns);
   return 0;
 }

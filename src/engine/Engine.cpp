@@ -40,9 +40,12 @@ std::vector<PortfolioMember> normalizedPortfolio(const SynthJob &Job) {
 /// that may cancel the run (race + batch + per-job cancellation + the
 /// member's own token); \p RaceStop is only the job-level race, so a
 /// member aborted by an external cancellation or its own budget is not
-/// mislabelled as a race loser.
+/// mislabelled as a race loser. \p DefaultShards fills in
+/// SynthOptions::Shards for members that left it unset (0); an explicit
+/// member value — 1 included — always wins (EngineOptions::IntraJobShards).
 MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
-                        const StopToken &Stop, const StopToken &RaceStop) {
+                        const StopToken &Stop, const StopToken &RaceStop,
+                        unsigned DefaultShards) {
   MemberOutcome Out;
   Out.Name = memberDisplayName(M);
 
@@ -56,6 +59,17 @@ MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
 
   SynthOptions Opts = M.Opts;
   Opts.Stop = anyToken(Opts.Stop, Stop);
+  if (Opts.Shards == 0 && DefaultShards > 1)
+    Opts.Shards = DefaultShards;
+  if (Opts.Shards > 1 && !Opts.ShardCheckerFactory) {
+    // Each DFS shard needs a private backend over the same clone; the
+    // factory call is thread-safe and Local outlives the run.
+    const Scenario *Clone = &Local;
+    std::string Spec = M.Backend;
+    Opts.ShardCheckerFactory = [Clone, Spec] {
+      return BackendFactory::instance().create(Spec, *Clone);
+    };
+  }
 
   FormulaFactory FF;
   Timer Clock;
@@ -63,7 +77,9 @@ MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
   Out.Seconds = Clock.seconds();
   Out.Status = Res.Status;
   Out.Stats = Res.Stats;
-  Out.Queries = Checker->numQueries();
+  // Real checking work across every checker the member ran — the
+  // caller's instance plus any shard-private ones.
+  Out.Queries = static_cast<unsigned>(Res.Stats.BackendQueries);
   Out.Cancelled =
       Res.Status == SynthStatus::Aborted && RaceStop.stopRequested();
   // The commands travel back through the outcome only for the winner
@@ -127,8 +143,10 @@ Digest netupd::digestOf(const SynthJob &Job) {
                      return static_cast<char>(std::tolower(C));
                    });
     B.addString(Spec);
-    // Every option that can change the result; display Name and the
-    // Stop token are presentation/control, not semantics.
+    // Every option that can change the result; display Name, the Stop
+    // token, and the sharding knobs (Shards, ShardCheckerFactory) are
+    // presentation/control/performance, not semantics — any shard count
+    // yields an interchangeable result for the same job.
     B.addBool(M.Opts.CexPruning);
     B.addBool(M.Opts.EarlyTermination);
     B.addBool(M.Opts.WaitRemoval);
@@ -298,7 +316,8 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
 
   std::vector<MemberOutcome> Outcomes(Members.size());
   if (Members.size() == 1) {
-    Outcomes[0] = runMember(Job.S, Members[0], Stop, StopToken());
+    Outcomes[0] = runMember(Job.S, Members[0], Stop, StopToken(),
+                            Opts.IntraJobShards);
   } else {
     // Race: first Success fires the shared source; everyone also honours
     // the external (batch + per-job) token.
@@ -309,7 +328,8 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
     Threads.reserve(Members.size());
     for (size_t I = 0; I != Members.size(); ++I) {
       Threads.emplace_back([&, I] {
-        Outcomes[I] = runMember(Job.S, Members[I], MemberStop, RaceStop);
+        Outcomes[I] = runMember(Job.S, Members[I], MemberStop, RaceStop,
+                                Opts.IntraJobShards);
         if (Outcomes[I].Status == SynthStatus::Success)
           Race.requestStop();
       });

@@ -44,6 +44,25 @@
 /// job's feasibility verdict is therefore timing-independent: Success
 /// iff some member can succeed.
 ///
+/// Intra-job sharding: orthogonally to the portfolio (which races
+/// *different* configurations), a single member's DFS can be
+/// prefix-split across shard threads (SynthOptions::Shards;
+/// EngineOptions::IntraJobShards applies a default to every member that
+/// didn't choose). The engine's contribution is the per-shard checker
+/// factory: each shard needs a private backend instance, so runMember
+/// wires SynthOptions::ShardCheckerFactory to the member's
+/// BackendFactory spec over the job's scenario clone.
+///
+/// Nested work and the pool: shard threads (like portfolio threads) are
+/// dedicated threads owned by the job that spawned them — they are NOT
+/// submitted back to the engine's job queue. Re-submitting would
+/// deadlock a saturated pool: every worker could be blocked inside a
+/// job waiting for shard sub-tasks that no free worker exists to run.
+/// Dedicated threads keep the pool's invariant simple — workers only
+/// ever block on checker work, never on other queue entries — at the
+/// cost of briefly oversubscribing the machine, which the OS scheduler
+/// handles gracefully for these CPU-bound, cancellation-polling loops.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_ENGINE_ENGINE_H
@@ -76,9 +95,15 @@ using ResultCache = ShardedDigestCache<CachedJobResult>;
 /// Engine configuration.
 struct EngineOptions {
   /// Worker threads for the job pool; 0 means hardware concurrency.
-  /// Portfolio members run on additional short-lived threads owned by
-  /// the job that spawned them.
+  /// Portfolio members and DFS shards run on additional short-lived
+  /// threads owned by the job that spawned them (see the file comment
+  /// on why nested work never re-enters the queue).
   unsigned NumWorkers = 0;
+  /// Default intra-job shard count applied to every portfolio member
+  /// that left SynthOptions::Shards at 0 (unset). 0 or 1 here disables
+  /// the default; members with an explicit Shards — including an
+  /// explicit 1 to pin the sequential search — keep their own value.
+  unsigned IntraJobShards = 0;
   /// Cancels every queued and running job when fired; affected jobs are
   /// reported as Aborted.
   StopToken Stop;

@@ -76,7 +76,8 @@ struct MemberOutcome {
   std::string Name;
   SynthStatus Status = SynthStatus::Aborted;
   SynthStats Stats;
-  /// Checker queries served, from CheckerBackend::numQueries().
+  /// Real checking work performed, from SynthStats::BackendQueries: the
+  /// member's checker plus any shard-private checkers it spawned.
   unsigned Queries = 0;
   double Seconds = 0.0;
   /// True if this member aborted while the job-level race was already

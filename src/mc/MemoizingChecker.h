@@ -29,6 +29,32 @@
 /// identically (kripke/Kripke.h), so cached CheckResults — including
 /// counterexample traces — are valid verbatim across jobs.
 ///
+/// The sync-depth state machine's invariants, precisely:
+///
+///  1. Frames mirrors the DFS stack one-to-one: recheckAfterUpdate
+///     pushes a frame, notifyRollback pops one, and the structure the
+///     decorator observes at depth d is always the same configuration
+///     the search had at depth d (LIFO discipline).
+///  2. SyncedDepth is either -1 or the unique depth whose configuration
+///     the *inner* backend currently reflects. An incremental forward
+///     (inner recheck) is sound only when SyncedDepth == Frames.size()
+///     at call time (innerSyncedAt); otherwise the decorator re-binds
+///     the inner backend against the current structure instead.
+///  3. A re-bind invalidates the inner backend's own undo stack, so
+///     every Recheck frame below the re-bind depth is retagged
+///     DeadRecheck; rollbacks through Hit/DeadRecheck/Rebind frames are
+///     absorbed (never forwarded), and only rollbacks through a live
+///     Recheck frame reach the inner backend.
+///  4. Queries counts only inner-backend work (misses and re-binds),
+///     never cache hits, so numQueries() remains "real checking work".
+///
+/// Concurrency: one MemoizingChecker instance is single-threaded — in a
+/// sharded search (synth/OrderUpdate.cpp) every shard owns a private
+/// decorator instance over its private structure, preserving the LIFO
+/// assumption above per shard, while all instances share the one
+/// thread-safe CheckCache. Cache entries are immutable once stored, so
+/// cross-shard sharing needs no further coordination.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_MC_MEMOIZINGCHECKER_H

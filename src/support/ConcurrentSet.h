@@ -1,0 +1,122 @@
+//===- support/ConcurrentSet.h - Concurrent pruning containers -*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two concurrent containers behind the sharded synthesis search
+/// (synth/OrderUpdate.cpp): a sharded hash set for the visited (V)
+/// configurations and an append-only list for the wrong-set (W) prune
+/// entries. Both hold *monotone* state — entries are only ever added,
+/// never modified or removed during a search — which is what makes
+/// sharing them across DFS shards sound: a V claim or a W constraint
+/// mined on one shard is a fact about the problem instance, valid for
+/// every other shard the moment it becomes visible.
+///
+/// ConcurrentSet::insert doubles as the claim operation of the sharded
+/// search: exactly one caller receives true per value, so two shards
+/// reaching the same intermediate configuration agree on which of them
+/// explores the subtree below it (the other prunes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SUPPORT_CONCURRENTSET_H
+#define NETUPD_SUPPORT_CONCURRENTSET_H
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace netupd {
+
+/// A thread-safe hash set, sharded by hash so concurrent DFS shards
+/// rarely contend on the same mutex. Grow-only during a search; see
+/// file comment.
+template <typename T, typename Hash = std::hash<T>> class ConcurrentSet {
+public:
+  /// Inserts \p V; returns true iff it was not already present. The
+  /// true-return is unique per value across all threads (the claim).
+  bool insert(const T &V) {
+    Shard &S = shardFor(V);
+    std::lock_guard<std::mutex> Lock(S.M);
+    return S.Set.insert(V).second;
+  }
+
+  /// True if \p V was inserted before this call. A false may be stale
+  /// (another thread can insert concurrently); callers treat contains()
+  /// as a cheap pre-filter and insert() as the authoritative claim.
+  bool contains(const T &V) const {
+    const Shard &S = shardFor(V);
+    std::lock_guard<std::mutex> Lock(S.M);
+    return S.Set.count(V) != 0;
+  }
+
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Set.size();
+    }
+    return N;
+  }
+
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      S.Set.clear();
+    }
+  }
+
+private:
+  static constexpr unsigned NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_set<T, Hash> Set;
+  };
+
+  Shard &shardFor(const T &V) { return Shards[Hash()(V) % NumShards]; }
+  const Shard &shardFor(const T &V) const {
+    return Shards[Hash()(V) % NumShards];
+  }
+
+  Shard Shards[NumShards];
+};
+
+/// An append-only list optimized for many concurrent whole-list scans
+/// and comparatively rare appends — the access pattern of the W set,
+/// which every DFS node consults and only counterexamples extend.
+/// Readers share the lock; appends take it exclusively.
+template <typename T> class SharedAppendList {
+public:
+  void append(T V) {
+    std::unique_lock<std::shared_mutex> Lock(M);
+    Items.push_back(std::move(V));
+  }
+
+  /// True if \p Pred holds for any element; scans under a shared lock.
+  template <typename Fn> bool any(Fn &&Pred) const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    for (const T &V : Items)
+      if (Pred(V))
+        return true;
+    return false;
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return Items.size();
+  }
+
+private:
+  mutable std::shared_mutex M;
+  std::vector<T> Items;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SUPPORT_CONCURRENTSET_H

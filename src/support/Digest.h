@@ -17,7 +17,23 @@
 /// Digests support XOR composition, which the incremental maintenance in
 /// KripkeStructure exploits Zobrist-style: a configuration's digest is
 /// the XOR over switches of mix(switch, table digest), so replacing one
-/// table updates the digest in O(|table|) and rolls back exactly.
+/// table updates the digest in O(|table|) and rolls back exactly —
+/// apply/undo pairs restore the digest bit-for-bit without rehashing,
+/// which is what lets every recheckAfterUpdate site read a current
+/// structure digest for free.
+///
+/// Cache-key exclusions — the invariant every digestOf() overload obeys:
+/// a digest covers exactly the content that determines a computation's
+/// *result*, and nothing else. Display names, StopTokens, diagnostic
+/// path fields (FlowSpec::InitialPath/FinalPath), and performance knobs
+/// (SynthOptions::Shards, ShardCheckerFactory, the engine's worker
+/// count) are all excluded; formulas digest structurally, so two
+/// FormulaFactory instances interning the same formula agree; and an
+/// empty portfolio digests as the default member it executes as
+/// (engine/Engine.cpp normalizes both sides the same way). Violating
+/// this in either direction is a real bug: digesting too little serves
+/// wrong results to lookalike queries, digesting too much splits the
+/// cache and silently erases the hit rate.
 ///
 //===----------------------------------------------------------------------===//
 

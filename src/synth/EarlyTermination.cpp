@@ -52,6 +52,7 @@ void EarlyTermination::mention(unsigned Op) {
 void EarlyTermination::addCexConstraint(
     const std::vector<unsigned> &Updated,
     const std::vector<unsigned> &NotUpdated) {
+  std::lock_guard<std::mutex> Lock(M);
   if (KnownImpossible)
     return;
   // A cancelled search learns nothing: skip the (cubic) transitivity
@@ -89,6 +90,7 @@ void EarlyTermination::addCexConstraint(
 }
 
 bool EarlyTermination::impossible() {
+  std::lock_guard<std::mutex> Lock(M);
   if (KnownImpossible)
     return true;
   if (!Dirty)

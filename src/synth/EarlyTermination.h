@@ -21,6 +21,16 @@
 /// so an UNSAT verdict remains a valid proof of impossibility, which is
 /// the only verdict the search acts on.
 ///
+/// Thread safety: one instance is shared by every shard of a sharded
+/// search (constraints mined on any shard prove impossibility for all),
+/// so addCexConstraint(), impossible(), and numClauses() serialize on an
+/// internal mutex. The mutex is held across SAT solves — the one
+/// unbounded-cost step — which blocks concurrent learners for the
+/// duration; the search batches its impossible() checks (one per
+/// EtCheckInterval failures per shard) precisely to keep that
+/// serialization off the hot path. setStopToken() is not synchronized
+/// and must happen before the shards start.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_SYNTH_EARLYTERMINATION_H
@@ -30,6 +40,7 @@
 #include "sat/Solver.h"
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace netupd {
@@ -66,10 +77,14 @@ public:
   bool impossible();
 
   /// Installs the cancellation token polled by impossible() and
-  /// addCexConstraint(); an empty token (the default) never stops.
+  /// addCexConstraint(); an empty token (the default) never stops. Not
+  /// synchronized: call before any concurrent use.
   void setStopToken(StopToken Token) { Stop = std::move(Token); }
 
-  uint64_t numClauses() const { return Clauses; }
+  uint64_t numClauses() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Clauses;
+  }
 
 private:
   /// The literal meaning "operation A is updated before operation B".
@@ -79,6 +94,8 @@ private:
   /// previously mentioned operations while under the cap.
   void mention(unsigned Op);
 
+  /// Serializes every member below; see the thread-safety note above.
+  mutable std::mutex M;
   sat::Solver Solver;
   StopToken Stop;
   std::map<std::pair<unsigned, unsigned>, sat::Var> PairVars;

@@ -4,17 +4,49 @@
 // Updates" (McClurg et al., PLDI 2015).
 //
 //===----------------------------------------------------------------------===//
+//
+// The search is factored into two layers so one code path serves both the
+// sequential and the sharded mode:
+//
+//  - SearchContext: everything shared across shards — the op table, the
+//    concurrent V/W pruning state, the SAT layer, global budgets, the
+//    top-level work-unit counter, and the winner slot. All of it is
+//    either immutable after setup or monotone (V claims, W entries, SAT
+//    clauses, stop flags only ever accumulate), which is why sharing is
+//    sound: a prune learned anywhere holds everywhere.
+//
+//  - ShardSearcher: everything one shard owns — a private KripkeStructure
+//    it mutates and rolls back, a private CheckerBackend following that
+//    structure, the Applied bitset/sequence, and local statistics. The
+//    LIFO mutate/recheck/rollback discipline the backends (and the
+//    MemoizingChecker sync-depth machine) assume is therefore preserved
+//    per shard by construction.
+//
+// Work units are depth-one prefixes: candidate first operation i roots
+// unit i, and shards pull units from an atomic cursor. Depth one matters
+// for the V-claim discipline — distinct first ops give distinct depth-1
+// configurations, so no unit's root can be claimed (and wrongly skipped)
+// by a shard working a different unit. Below depth one, claims are what
+// make concurrent exploration exhaustive-without-duplication: the one
+// shard that wins the insert explores the subtree, every other shard
+// prunes, and since all units complete before a verdict is reached, every
+// skipped subtree has been fully explored by its claimant.
+//
+//===----------------------------------------------------------------------===//
 
 #include "synth/OrderUpdate.h"
 
 #include "support/Bitset.h"
+#include "support/ConcurrentSet.h"
 #include "support/Timer.h"
 #include "synth/EarlyTermination.h"
 #include "synth/WaitRemoval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <unordered_set>
+#include <mutex>
+#include <thread>
 
 using namespace netupd;
 
@@ -65,58 +97,115 @@ Table opResultTable(const Table &Current, const Table &FinalT,
   return Table(std::move(Rules));
 }
 
-/// The depth-first search of Fig. 4, with state shared across recursion.
-class OrderUpdateSearch {
-public:
-  OrderUpdateSearch(const Topology &Topo, const Config &Initial,
-                    const Config &Final,
-                    const std::vector<TrafficClass> &Classes, Formula Phi,
-                    CheckerBackend &Checker, const SynthOptions &Opts)
+/// Shard-shared state of one synthesis run; see the file comment.
+struct SearchContext {
+  SearchContext(const Topology &Topo, const Config &Initial,
+                const Config &Final,
+                const std::vector<TrafficClass> &Classes, Formula Phi,
+                const SynthOptions &Opts)
       : Topo(Topo), Initial(Initial), Final(Final), Classes(Classes),
-        Phi(Phi), Checker(Checker), Opts(Opts),
-        K(Topo, Initial, Classes) {
-    ET.setStopToken(this->Opts.Stop);
-  }
-
-  SynthResult run();
-
-private:
-  void buildOps();
-  bool dfs();
-  bool matchesWrong(const Bitset &Bits) const;
-  void learnCex(const std::vector<StateId> &CexStates, const Bitset &Bits);
-  bool hitLimits();
-  CommandSeq buildCommands() const;
+        Phi(Phi), Opts(Opts) {}
 
   const Topology &Topo;
   const Config &Initial;
   const Config &Final;
   const std::vector<TrafficClass> &Classes;
   Formula Phi;
-  CheckerBackend &Checker;
-  SynthOptions Opts;
+  const SynthOptions &Opts;
 
-  KripkeStructure K;
+  // Immutable after buildOps(); shards read freely.
   std::vector<MicroOp> Ops;
   std::vector<unsigned> OpOrder; // DFS candidate order (adds first).
   std::vector<std::vector<unsigned>> SwitchOps; // Switch -> op indices.
-  Bitset Applied;
-  std::vector<unsigned> AppliedSeq;
-  std::unordered_set<Bitset, BitsetHash> Visited; // V of Fig. 4.
-  std::vector<std::pair<Bitset, Bitset>> Wrong;   // W: (mask, value).
-  EarlyTermination ET;
 
-  SynthStats Stats;
+  /// True once runSearch decided to spawn sibling shards. Decided before
+  /// any searcher runs and constant afterwards; selects between the
+  /// plain and the concurrent pruning containers below. The V/W probes
+  /// run per candidate at every DFS node — the hottest loop of
+  /// prune-dominated exhaustive searches — and a single-shard run must
+  /// not pay lock/atomic overhead there (measured ~8x on the Fig. 8(h)
+  /// exhaustive bench when it did).
+  bool Sharded = false;
+
+  // Pruning state, one representation per mode: grow-only either way,
+  // so the concurrent variants are shareable (see ConcurrentSet.h).
+  std::unordered_set<Bitset, BitsetHash> SeqVisited;   // V of Fig. 4.
+  std::vector<std::pair<Bitset, Bitset>> SeqWrong;     // W: (mask, value).
+  ConcurrentSet<Bitset, BitsetHash> ParVisited;
+  SharedAppendList<std::pair<Bitset, Bitset>> ParWrong;
+
+  /// A cheap pre-filter (a stale false is fine; insert() arbitrates).
+  bool visitedContains(const Bitset &B) const {
+    return Sharded ? ParVisited.contains(B) : SeqVisited.count(B) != 0;
+  }
+  /// The claim: true for exactly one caller per configuration.
+  bool visitedClaim(const Bitset &B) {
+    return Sharded ? ParVisited.insert(B) : SeqVisited.insert(B).second;
+  }
+  bool matchesWrong(const Bitset &Bits) const {
+    auto Match = [&](const std::pair<Bitset, Bitset> &Entry) {
+      return (Bits & Entry.first) == Entry.second;
+    };
+    if (!Sharded) {
+      for (const std::pair<Bitset, Bitset> &Entry : SeqWrong)
+        if (Match(Entry))
+          return true;
+      return false;
+    }
+    return ParWrong.any(Match);
+  }
+  void addWrong(std::pair<Bitset, Bitset> Entry) {
+    if (Sharded)
+      ParWrong.append(std::move(Entry));
+    else
+      SeqWrong.push_back(std::move(Entry));
+  }
+
+  EarlyTermination ET; // Internally synchronized.
+
+  // Budgets and cancellation. CheckCalls is global so MaxCheckCalls
+  // bounds the whole run, not each shard.
   Timer Clock;
-  bool Abort = false;
-  SynthStatus AbortStatus = SynthStatus::Aborted;
-  /// The SAT check batches failures: solving after every learned clause
-  /// is wasted work when the constraints are still easily satisfiable.
-  unsigned FailuresSinceEtCheck = 0;
-  static constexpr unsigned EtCheckInterval = 8;
+  std::atomic<uint64_t> CheckCalls{0};
+  /// Fired by the first shard to complete a sequence; siblings abandon
+  /// their frontier at the next checkpoint.
+  StopSource Found;
+  /// Fired on any abort (budget, external stop, SAT impossibility) so
+  /// sibling shards stop promptly instead of re-deriving the condition.
+  StopSource Halt;
+  std::atomic<bool> BudgetAbort{false};
+  std::atomic<bool> EtImpossible{false};
+
+  /// Winner slot: first completed sequence wins; later finds (possible
+  /// in the window before Found propagates) are dropped.
+  std::mutex WinnerM;
+  bool HaveWinner = false;
+  std::vector<unsigned> WinnerSeq;
+
+  /// The next top-level work unit (an index into OpOrder) to explore.
+  std::atomic<size_t> NextUnit{0};
+
+  void buildOps();
+
+  /// The token every shard polls: external cancellation, a sibling's
+  /// success, or a global abort.
+  StopToken stopToken() const {
+    return anyToken(anyToken(Opts.Stop, Found.token()), Halt.token());
+  }
+
+  void recordWinner(const std::vector<unsigned> &Seq) {
+    {
+      std::lock_guard<std::mutex> Lock(WinnerM);
+      if (!HaveWinner) {
+        HaveWinner = true;
+        WinnerSeq = Seq;
+      }
+    }
+    Found.requestStop();
+  }
 };
 
-void OrderUpdateSearch::buildOps() {
+void SearchContext::buildOps() {
   SwitchOps.assign(Topo.numSwitches(), {});
   for (SwitchId Sw : diffSwitches(Initial, Final)) {
     if (!Opts.RuleGranularity) {
@@ -158,7 +247,7 @@ void OrderUpdateSearch::buildOps() {
   // rules on switches that carry none for the affected scope) — those are
   // the safe "unreachable switch" updates the paper's §2 discussion
   // performs first. Completeness is unaffected: this only permutes the
-  // DFS children.
+  // DFS children (and, sharded, the work-unit order).
   OpOrder.resize(Ops.size());
   for (unsigned I = 0; I != Ops.size(); ++I)
     OpOrder[I] = I;
@@ -176,106 +265,104 @@ void OrderUpdateSearch::buildOps() {
                    });
 }
 
-bool OrderUpdateSearch::matchesWrong(const Bitset &Bits) const {
-  for (const auto &[Mask, Value] : Wrong)
-    if ((Bits & Mask) == Value)
-      return true;
-  return false;
-}
-
-void OrderUpdateSearch::learnCex(const std::vector<StateId> &CexStates,
-                                 const Bitset &Bits) {
-  // The counterexample trace depends only on how the switches it crosses
-  // route its own traffic class, so any configuration agreeing with the
-  // current one on those operations reproduces the violation (§4.2 A).
-  std::vector<uint8_t> SwInCex(Topo.numSwitches(), 0);
-  std::vector<uint8_t> ClassInCex(Classes.size(), 0);
-  for (StateId S : CexStates) {
-    SwInCex[K.stateSwitch(S)] = 1;
-    ClassInCex[K.stateClass(S)] = 1;
+/// One shard of the DFS: a private structure/checker pair walking work
+/// units pulled from the shared cursor. With one shard this is exactly
+/// the paper's sequential search.
+class ShardSearcher {
+public:
+  ShardSearcher(SearchContext &Ctx, KripkeStructure &K,
+                CheckerBackend &Checker)
+      : Ctx(Ctx), K(K), Checker(Checker), Stop(Ctx.stopToken()) {
+    Applied.resize(Ctx.Ops.size());
   }
 
-  Bitset Mask(Ops.size());
-  for (SwitchId Sw = 0; Sw != Topo.numSwitches(); ++Sw) {
-    if (!SwInCex[Sw])
-      continue;
-    for (unsigned OpIdx : SwitchOps[Sw]) {
-      const MicroOp &Op = Ops[OpIdx];
-      // Rule-granularity ops for unrelated classes do not influence the
-      // trace; leaving them out strengthens the pruning.
-      if (Op.ClassIdx >= 0 &&
-          !ClassInCex[static_cast<size_t>(Op.ClassIdx)])
-        continue;
-      Mask.set(OpIdx);
+  /// Binds the checker to this shard's structure and runs the initial
+  /// full check (Fig. 4 line 7); counted like any other query.
+  CheckResult bindInitial() {
+    CheckResult R = Checker.bind(K, Ctx.Phi);
+    ++Stats.CheckCalls;
+    Ctx.CheckCalls.fetch_add(1, std::memory_order_relaxed);
+    return R;
+  }
+
+  /// Pulls top-level units until they run out, the shard aborts, or a
+  /// sibling wins. Publishes this shard's sequence if it finds one.
+  void runUnits() {
+    for (;;) {
+      if (AbortFlag)
+        return; // Cause already recorded where the flag was set.
+      if (Stop.stopRequested()) {
+        // A stop seen here leaves work units unexplored, so it must be
+        // recorded: without the flag the verdict block would mistake
+        // this cancellation for exhaustion and report a false
+        // Impossible proof. (A recorded winner still outranks the
+        // stray BudgetAbort when the stop was a sibling's Found.)
+        noteAbort();
+        return;
+      }
+      size_t Unit = Ctx.NextUnit.fetch_add(1, std::memory_order_relaxed);
+      if (Unit >= Ctx.OpOrder.size())
+        return; // Genuine exhaustion: every unit claimed.
+      if (tryCandidate(Ctx.OpOrder[Unit])) {
+        Ctx.recordWinner(AppliedSeq);
+        return; // Keep the final structure; no rollback.
+      }
     }
   }
-  Bitset Value = Bits & Mask;
-  if (Mask.none())
-    return; // Defensive: a cex with no in-diff switch teaches nothing.
-  Wrong.emplace_back(Mask, Value);
 
-  if (!Opts.EarlyTermination)
-    return;
-  std::vector<unsigned> Updated, NotUpdated;
-  for (unsigned I = 0; I != Ops.size(); ++I) {
-    if (!Mask.test(I))
-      continue;
-    if (Value.test(I))
-      Updated.push_back(I);
-    else
-      NotUpdated.push_back(I);
+  SynthStats Stats;
+
+private:
+  /// The recursive part of Fig. 4: try every remaining candidate from
+  /// the current configuration.
+  bool dfs() {
+    if (Applied.count() == Ctx.Ops.size())
+      return true;
+    for (unsigned CandIdx = 0; CandIdx != Ctx.OpOrder.size(); ++CandIdx) {
+      unsigned I = Ctx.OpOrder[CandIdx];
+      if (Applied.test(I))
+        continue;
+      if (tryCandidate(I))
+        return true;
+      if (AbortFlag)
+        return false;
+    }
+    return false;
   }
-  // A violating trace through entirely not-updated switches would also
-  // exist in the initial configuration, which was verified; so Updated is
-  // never empty here (see EarlyTermination.h).
-  assert(!Updated.empty() && "counterexample independent of any update");
-  if (Updated.empty())
-    return;
-  ET.addCexConstraint(Updated, NotUpdated);
-  Stats.SatClauses = ET.numClauses();
-}
 
-bool OrderUpdateSearch::hitLimits() {
-  if (Opts.Stop.stopRequested())
-    return true;
-  if (Opts.TimeoutSeconds > 0.0 && Clock.seconds() > Opts.TimeoutSeconds)
-    return true;
-  if (Opts.MaxCheckCalls != 0 && Stats.CheckCalls >= Opts.MaxCheckCalls)
-    return true;
-  return false;
-}
-
-bool OrderUpdateSearch::dfs() {
-  if (Applied.count() == Ops.size())
-    return true;
-
-  for (unsigned CandIdx = 0; CandIdx != OpOrder.size(); ++CandIdx) {
-    unsigned I = OpOrder[CandIdx];
-    if (Applied.test(I))
-      continue;
-
+  /// The body of one DFS edge: prune, claim, apply op \p I, recheck,
+  /// recurse, roll back. Returns true iff a full correct sequence was
+  /// completed below this edge.
+  bool tryCandidate(unsigned I) {
     Bitset Next = Applied;
     Next.set(I);
-    if (Visited.count(Next)) {
+    if (Ctx.visitedContains(Next)) {
       ++Stats.VisitedPrunes;
-      continue;
+      return false;
     }
-    if (Opts.CexPruning && matchesWrong(Next)) {
+    if (Ctx.Opts.CexPruning && Ctx.matchesWrong(Next)) {
       ++Stats.CexPrunes;
-      continue;
+      return false;
     }
     if (hitLimits()) {
-      Abort = true;
-      AbortStatus = SynthStatus::Aborted;
+      noteAbort();
+      return false;
+    }
+    // The claim: exactly one shard wins this insert and explores the
+    // subtree; a loser counts a visited-prune exactly as if the subtree
+    // had been explored earlier in a sequential run.
+    if (!Ctx.visitedClaim(Next)) {
+      ++Stats.VisitedPrunes;
       return false;
     }
 
-    const MicroOp &Op = Ops[I];
+    const MicroOp &Op = Ctx.Ops[I];
     const Header *ClassHdr =
-        Op.ClassIdx < 0 ? nullptr
-                        : &Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
-    Table NewTable =
-        opResultTable(K.config().table(Op.Sw), Final.table(Op.Sw), ClassHdr);
+        Op.ClassIdx < 0
+            ? nullptr
+            : &Ctx.Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
+    Table NewTable = opResultTable(K.config().table(Op.Sw),
+                                   Ctx.Final.table(Op.Sw), ClassHdr);
 
     std::vector<StateId> Changed;
     KripkeStructure::UndoRecord Undo =
@@ -288,7 +375,7 @@ bool OrderUpdateSearch::dfs() {
 
     CheckResult Res = Checker.recheckAfterUpdate(Info);
     ++Stats.CheckCalls;
-    Visited.insert(Next);
+    Ctx.CheckCalls.fetch_add(1, std::memory_order_relaxed);
 
     bool Success = false;
     if (Res.Holds) {
@@ -299,94 +386,257 @@ bool OrderUpdateSearch::dfs() {
         Applied.reset(I);
         AppliedSeq.pop_back();
       }
-    } else if (Opts.CexPruning && !Res.Cex.empty() &&
+    } else if (Ctx.Opts.CexPruning && !Res.Cex.empty() &&
                Checker.providesCounterexamples()) {
       learnCex(Res.Cex, Next);
     }
 
     if (Success)
-      return true; // Keep the final structure; no rollback.
+      return true; // Keep the structure mutated; the caller replays.
 
     Checker.notifyRollback();
     K.undo(Undo);
 
-    if (Opts.EarlyTermination && !Res.Holds &&
+    if (Ctx.Opts.EarlyTermination && !Res.Holds &&
         ++FailuresSinceEtCheck >= EtCheckInterval) {
       FailuresSinceEtCheck = 0;
-      if (ET.impossible()) {
+      if (Ctx.ET.impossible()) {
         Stats.EarlyTerminated = true;
-        Abort = true;
-        AbortStatus = SynthStatus::Impossible;
-        return false;
+        Ctx.EtImpossible.store(true, std::memory_order_relaxed);
+        Ctx.Halt.requestStop();
+        AbortFlag = true;
       }
     }
-    if (Abort)
-      return false;
+    return false;
   }
-  return false;
-}
 
-CommandSeq OrderUpdateSearch::buildCommands() const {
-  // Replay the successful op order from the initial configuration,
-  // snapshotting the table each op installs; a wait separates every two
-  // updates (careful sequence, Def. 5).
-  CommandSeq Seq;
-  Config Cur = Initial;
-  for (size_t Step = 0; Step != AppliedSeq.size(); ++Step) {
-    const MicroOp &Op = Ops[AppliedSeq[Step]];
+  void learnCex(const std::vector<StateId> &CexStates, const Bitset &Bits) {
+    // The counterexample trace depends only on how the switches it
+    // crosses route its own traffic class, so any configuration agreeing
+    // with the current one on those operations reproduces the violation
+    // (§4.2 A). Although the trace was found on this shard's structure,
+    // digest-equal structures number states identically, so the derived
+    // (mask, value) constraint is an instance fact every shard may prune
+    // on.
+    std::vector<uint8_t> SwInCex(Ctx.Topo.numSwitches(), 0);
+    std::vector<uint8_t> ClassInCex(Ctx.Classes.size(), 0);
+    for (StateId S : CexStates) {
+      SwInCex[K.stateSwitch(S)] = 1;
+      ClassInCex[K.stateClass(S)] = 1;
+    }
+
+    Bitset Mask(Ctx.Ops.size());
+    for (SwitchId Sw = 0; Sw != Ctx.Topo.numSwitches(); ++Sw) {
+      if (!SwInCex[Sw])
+        continue;
+      for (unsigned OpIdx : Ctx.SwitchOps[Sw]) {
+        const MicroOp &Op = Ctx.Ops[OpIdx];
+        // Rule-granularity ops for unrelated classes do not influence
+        // the trace; leaving them out strengthens the pruning.
+        if (Op.ClassIdx >= 0 &&
+            !ClassInCex[static_cast<size_t>(Op.ClassIdx)])
+          continue;
+        Mask.set(OpIdx);
+      }
+    }
+    Bitset Value = Bits & Mask;
+    if (Mask.none())
+      return; // Defensive: a cex with no in-diff switch teaches nothing.
+    Ctx.addWrong({Mask, Value});
+
+    if (!Ctx.Opts.EarlyTermination)
+      return;
+    std::vector<unsigned> Updated, NotUpdated;
+    for (unsigned I = 0; I != Ctx.Ops.size(); ++I) {
+      if (!Mask.test(I))
+        continue;
+      if (Value.test(I))
+        Updated.push_back(I);
+      else
+        NotUpdated.push_back(I);
+    }
+    // A violating trace through entirely not-updated switches would also
+    // exist in the initial configuration, which was verified; so Updated
+    // is never empty here (see EarlyTermination.h).
+    assert(!Updated.empty() && "counterexample independent of any update");
+    if (Updated.empty())
+      return;
+    Ctx.ET.addCexConstraint(Updated, NotUpdated);
+  }
+
+  bool hitLimits() {
+    if (Stop.stopRequested())
+      return true;
+    if (Ctx.Opts.TimeoutSeconds > 0.0 &&
+        Ctx.Clock.seconds() > Ctx.Opts.TimeoutSeconds)
+      return true;
+    if (Ctx.Opts.MaxCheckCalls != 0 &&
+        Ctx.CheckCalls.load(std::memory_order_relaxed) >=
+            Ctx.Opts.MaxCheckCalls)
+      return true;
+    return false;
+  }
+
+  /// Budget/stop abort: remember it globally and wake the siblings. (If
+  /// the trigger was a sibling's Found token, the stray BudgetAbort is
+  /// harmless — a recorded winner outranks it in the final verdict.)
+  void noteAbort() {
+    AbortFlag = true;
+    Ctx.BudgetAbort.store(true, std::memory_order_relaxed);
+    Ctx.Halt.requestStop();
+  }
+
+  SearchContext &Ctx;
+  KripkeStructure &K;       // Shard-private; mutate/rollback stays here.
+  CheckerBackend &Checker;  // Shard-private, follows K.
+  StopToken Stop;
+
+  Bitset Applied;
+  std::vector<unsigned> AppliedSeq;
+  bool AbortFlag = false;
+  /// The SAT check batches failures: solving after every learned clause
+  /// is wasted work when the constraints are still easily satisfiable.
+  unsigned FailuresSinceEtCheck = 0;
+  static constexpr unsigned EtCheckInterval = 8;
+};
+
+/// Replays \p Seq from the initial configuration, snapshotting the table
+/// each op installs; a wait separates every two updates (careful
+/// sequence, Def. 5).
+CommandSeq buildCommands(const SearchContext &Ctx,
+                         const std::vector<unsigned> &Seq) {
+  CommandSeq Out;
+  Config Cur = Ctx.Initial;
+  for (size_t Step = 0; Step != Seq.size(); ++Step) {
+    const MicroOp &Op = Ctx.Ops[Seq[Step]];
     const Header *ClassHdr =
-        Op.ClassIdx < 0 ? nullptr
-                        : &Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
+        Op.ClassIdx < 0
+            ? nullptr
+            : &Ctx.Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
     Table NewTable =
-        opResultTable(Cur.table(Op.Sw), Final.table(Op.Sw), ClassHdr);
+        opResultTable(Cur.table(Op.Sw), Ctx.Final.table(Op.Sw), ClassHdr);
     Cur.setTable(Op.Sw, NewTable);
     if (Step != 0)
-      Seq.push_back(Command::wait());
-    Seq.push_back(Command::update(Op.Sw, std::move(NewTable)));
+      Out.push_back(Command::wait());
+    Out.push_back(Command::update(Op.Sw, std::move(NewTable)));
   }
-  return Seq;
+  return Out;
 }
 
-SynthResult OrderUpdateSearch::run() {
+SynthResult runSearch(const Topology &Topo, const Config &Initial,
+                      const Config &Final,
+                      const std::vector<TrafficClass> &Classes, Formula Phi,
+                      CheckerBackend &Checker, const SynthOptions &Opts) {
   SynthResult Result;
-  buildOps();
-  Applied.resize(Ops.size());
+  SearchContext Ctx(Topo, Initial, Final, Classes, Phi, Opts);
+  Ctx.ET.setStopToken(Ctx.stopToken());
+  Ctx.buildOps();
 
-  CheckResult InitRes = Checker.bind(K, Phi);
-  ++Stats.CheckCalls;
+  // Decide the mode before anything searches: Sharded selects the
+  // concurrent pruning containers, so it must be constant from the
+  // first probe on.
+  unsigned Shards = Opts.Shards == 0 ? 1 : Opts.Shards;
+  Shards =
+      static_cast<unsigned>(std::min<size_t>(Shards, Ctx.OpOrder.size()));
+  if (!Opts.ShardCheckerFactory)
+    Shards = 1; // No way to build sibling checkers; degrade gracefully.
+  Ctx.Sharded = Shards > 1;
+
+  KripkeStructure K(Topo, Initial, Classes);
+  ShardSearcher Primary(Ctx, K, Checker);
+  CheckResult InitRes = Primary.bindInitial();
+
+  SynthStats Total;
+  // Captured when the search (not the whole run) concludes, so
+  // SynthSeconds never includes command building or wait removal —
+  // WaitRemovalSeconds measures the latter separately.
+  double SearchSeconds = 0.0;
+  auto Finish = [&](SynthStatus Status) {
+    Total.mergeFrom(Primary.Stats);
+    Total.SatClauses = Ctx.ET.numClauses();
+    Total.EarlyTerminated |= Ctx.EtImpossible.load();
+    Total.SynthSeconds = SearchSeconds;
+    Result.Status = Status;
+    Result.Stats = Total;
+  };
+
   if (Opts.Stop.stopRequested()) {
-    Result.Status = SynthStatus::Aborted;
-    Stats.SynthSeconds = Clock.seconds();
-    Result.Stats = Stats;
+    SearchSeconds = Ctx.Clock.seconds();
+    Finish(SynthStatus::Aborted);
     return Result;
   }
   if (!InitRes.Holds) {
-    Result.Status = SynthStatus::InitialViolation;
-    Stats.SynthSeconds = Clock.seconds();
-    Result.Stats = Stats;
+    SearchSeconds = Ctx.Clock.seconds();
+    Finish(SynthStatus::InitialViolation);
+    return Result;
+  }
+  if (Ctx.Ops.empty()) {
+    // Initial == Final (no diff): the empty sequence is correct.
+    SearchSeconds = Ctx.Clock.seconds();
+    Finish(SynthStatus::Success);
     return Result;
   }
 
-  bool Found = dfs();
-  Stats.SynthSeconds = Clock.seconds();
+  if (Shards <= 1) {
+    Primary.runUnits();
+  } else {
+    // Extra shards run on their own threads — deliberately not on the
+    // engine's job pool, whose workers may all be blocked inside jobs
+    // waiting for exactly these threads (see engine/Engine.h).
+    std::vector<SynthStats> ShardStats(Shards - 1);
+    std::vector<std::thread> Threads;
+    Threads.reserve(Shards - 1);
+    for (unsigned T = 0; T != Shards - 1; ++T) {
+      Threads.emplace_back([&, T] {
+        std::unique_ptr<CheckerBackend> ShardChecker =
+            Opts.ShardCheckerFactory();
+        if (!ShardChecker)
+          return; // Fewer shards; the rest still cover every unit.
+        KripkeStructure ShardK(Topo, Initial, Classes);
+        ShardSearcher Shard(Ctx, ShardK, *ShardChecker);
+        CheckResult BindRes = Shard.bindInitial();
+        // The primary bind verified the initial configuration; a shard
+        // bind can only disagree if the backend is nondeterministic, in
+        // which case exploring would be unsound — sit this run out.
+        if (BindRes.Holds)
+          Shard.runUnits();
+        // Fold this checker's real work into the shard's stats before
+        // the checker dies with this thread.
+        Shard.Stats.BackendQueries += ShardChecker->numQueries();
+        Shard.Stats.CacheHits += ShardChecker->cacheHits();
+        Shard.Stats.CacheMisses += ShardChecker->cacheMisses();
+        ShardStats[T] = std::move(Shard.Stats);
+      });
+    }
+    Primary.runUnits();
+    for (std::thread &T : Threads)
+      T.join();
+    for (const SynthStats &S : ShardStats)
+      Total.mergeFrom(S);
+  }
 
-  if (!Found) {
-    Result.Status = Abort ? AbortStatus : SynthStatus::Impossible;
-    Result.Stats = Stats;
+  // All shards joined: the winner slot and flags are stable now.
+  SearchSeconds = Ctx.Clock.seconds();
+  if (!Ctx.HaveWinner) {
+    if (Ctx.EtImpossible.load())
+      Finish(SynthStatus::Impossible); // SAT proof; outranks an abort.
+    else if (Ctx.BudgetAbort.load())
+      Finish(SynthStatus::Aborted);
+    else
+      Finish(SynthStatus::Impossible); // Exhaustive: every unit explored.
     return Result;
   }
 
-  Result.Status = SynthStatus::Success;
-  Result.Commands = buildCommands();
-  Stats.WaitsBeforeRemoval = countWaits(Result.Commands);
-  Stats.WaitsAfterRemoval = Stats.WaitsBeforeRemoval;
+  Result.Commands = buildCommands(Ctx, Ctx.WinnerSeq);
+  Total.WaitsBeforeRemoval = countWaits(Result.Commands);
+  Total.WaitsAfterRemoval = Total.WaitsBeforeRemoval;
   if (Opts.WaitRemoval) {
     Timer WaitClock;
     Result.Commands = removeWaits(Topo, Initial, Classes, Result.Commands);
-    Stats.WaitRemovalSeconds = WaitClock.seconds();
-    Stats.WaitsAfterRemoval = countWaits(Result.Commands);
+    Total.WaitRemovalSeconds = WaitClock.seconds();
+    Total.WaitsAfterRemoval = countWaits(Result.Commands);
   }
-  Result.Stats = Stats;
+  Finish(SynthStatus::Success);
   return Result;
 }
 
@@ -398,11 +648,13 @@ SynthResult netupd::synthesizeUpdate(const Topology &Topo,
                                      const std::vector<TrafficClass> &Classes,
                                      Formula Phi, CheckerBackend &Checker,
                                      const SynthOptions &Opts) {
-  OrderUpdateSearch Search(Topo, Initial, Final, Classes, Phi, Checker,
-                           Opts);
-  SynthResult Result = Search.run();
-  Result.Stats.CacheHits = Checker.cacheHits();
-  Result.Stats.CacheMisses = Checker.cacheMisses();
+  SynthResult Result =
+      runSearch(Topo, Initial, Final, Classes, Phi, Checker, Opts);
+  // The caller's checker outlives the run; shard checkers folded their
+  // share in before dying (see runSearch), so += completes the totals.
+  Result.Stats.BackendQueries += Checker.numQueries();
+  Result.Stats.CacheHits += Checker.cacheHits();
+  Result.Stats.CacheMisses += Checker.cacheMisses();
   return Result;
 }
 

@@ -23,6 +23,21 @@
 /// traffic class's rules on one switch, which succeeds on instances where
 /// no switch-granularity order exists (Fig. 8(h)/(i)).
 ///
+/// Sharded search: with SynthOptions::Shards > 1 (and a
+/// ShardCheckerFactory to build per-shard checkers) the op-order tree is
+/// prefix-split at depth one — every candidate first operation roots one
+/// work unit — and the units are consumed by shard threads. Each shard
+/// owns a private KripkeStructure and checker (the mutate/rollback
+/// discipline stays strictly shard-local), while the pruning state is
+/// global and monotone: the V set doubles as a claim map (exactly one
+/// shard explores each configuration's subtree), W constraints and SAT
+/// clauses mined anywhere prune everywhere, and the first shard to find
+/// a sequence cancels its siblings through a StopToken. Feasibility
+/// verdicts are scheduling-independent — Success iff a sequence exists,
+/// Impossible only by exhaustion or SAT proof — though *which* correct
+/// sequence is returned may vary with timing (same sequence class, not
+/// the same sequence). See docs/ARCHITECTURE.md for the design.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_SYNTH_ORDERUPDATE_H
@@ -34,6 +49,8 @@
 #include "topo/Scenario.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 namespace netupd {
@@ -53,6 +70,23 @@ struct SynthOptions {
   /// the abort knobs. The engine's portfolio mode fires it to cancel
   /// losing configurations; a default (empty) token never stops.
   StopToken Stop;
+  /// Intra-configuration parallelism: the number of DFS shards the
+  /// op-order tree is prefix-split across (see the file comment). The
+  /// search itself treats 0 and 1 alike (sequential), but they differ
+  /// upstream: 0 means "unset" and lets EngineOptions::IntraJobShards
+  /// supply a default, while an explicit 1 pins the classic sequential
+  /// search even under an engine-wide default. Values above the number
+  /// of candidate first operations are clamped. Shards > 1 requires
+  /// ShardCheckerFactory — without it the search degrades to
+  /// sequential. A performance knob, not a semantic one: like Stop, it
+  /// is excluded from digestOf(SynthJob).
+  unsigned Shards = 0;
+  /// Builds one fresh CheckerBackend per extra shard (the caller's
+  /// checker serves the first). The engine wires this to the portfolio
+  /// member's BackendFactory spec; direct callers can capture whatever
+  /// state their backend needs. Must be callable concurrently and must
+  /// outlive the synthesizeUpdate call.
+  std::function<std::unique_ptr<CheckerBackend>()> ShardCheckerFactory;
 };
 
 /// Search statistics reported alongside a result.
@@ -62,9 +96,15 @@ struct SynthStats {
   uint64_t CexPrunes = 0;
   uint64_t SatClauses = 0;
   /// Checker-memoization counters (CheckerBackend::cacheHits/Misses),
-  /// captured when the run finishes; zero for non-memoizing backends.
+  /// captured when the run finishes and summed over every shard's
+  /// checker; zero for non-memoizing backends.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Real checking work performed across every checker instance of the
+  /// run (CheckerBackend::numQueries() of the caller's checker plus all
+  /// shard checkers). Equals CheckCalls for plain backends; smaller for
+  /// memoizing ones, whose cache hits cost no inner-backend work.
+  uint64_t BackendQueries = 0;
   bool EarlyTerminated = false;
   unsigned WaitsBeforeRemoval = 0;
   unsigned WaitsAfterRemoval = 0;
@@ -81,6 +121,7 @@ struct SynthStats {
     SatClauses += S.SatClauses;
     CacheHits += S.CacheHits;
     CacheMisses += S.CacheMisses;
+    BackendQueries += S.BackendQueries;
     EarlyTerminated |= S.EarlyTerminated;
     WaitsBeforeRemoval += S.WaitsBeforeRemoval;
     WaitsAfterRemoval += S.WaitsAfterRemoval;

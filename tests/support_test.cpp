@@ -6,12 +6,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Bitset.h"
+#include "support/ConcurrentSet.h"
 #include "support/Random.h"
+#include "support/ShardedCache.h"
 #include "support/Strings.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <string>
+#include <thread>
 
 using namespace netupd;
 
@@ -156,4 +161,142 @@ TEST(StringsTest, Trim) {
 TEST(StringsTest, Format) {
   EXPECT_EQ(format("%s=%d", "x", 42), "x=42");
   EXPECT_EQ(format("%u%%", 10u), "10%");
+}
+
+namespace {
+
+/// Digests whose shard (DigestHash % 16 with Hi = 0 reduces to Lo % 16)
+/// is 0, so eviction tests target one shard deterministically.
+Digest shard0Key(uint64_t I) { return Digest{I * 16, 0}; }
+
+} // namespace
+
+TEST(ShardedCacheTest, StoreLookupAndFirstResultWins) {
+  ShardedDigestCache<std::string> Cache;
+  Digest K = shard0Key(1);
+  EXPECT_FALSE(Cache.lookup(K).has_value());
+  Cache.store(K, "first");
+  Cache.store(K, "second"); // Ignored: results are interchangeable.
+  ASSERT_TRUE(Cache.lookup(K).has_value());
+  EXPECT_EQ(*Cache.lookup(K), "first");
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+}
+
+// A full shard must admit new entries by evicting, not drop them (the
+// pre-eviction behavior froze the cache at its first fill).
+TEST(ShardedCacheTest, FullShardAdmitsNewEntries) {
+  ShardedDigestCache<std::string> Cache(/*MaxEntries=*/0); // Cap 1/shard.
+  Cache.store(shard0Key(0), "old");
+  Cache.store(shard0Key(1), "new");
+  EXPECT_FALSE(Cache.lookup(shard0Key(0)).has_value()) << "evicted";
+  ASSERT_TRUE(Cache.lookup(shard0Key(1)).has_value());
+  EXPECT_EQ(*Cache.lookup(shard0Key(1)), "new");
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+}
+
+// The second chance: a looked-up entry survives a sweep that evicts an
+// unreferenced one, even though the survivor is older (pure FIFO would
+// evict it first).
+TEST(ShardedCacheTest, ReferencedEntrySurvivesEviction) {
+  ShardedDigestCache<std::string> Cache(/*MaxEntries=*/32); // Cap 3/shard.
+  Digest A = shard0Key(0), B = shard0Key(1), C = shard0Key(2),
+         D = shard0Key(3), E = shard0Key(4);
+  Cache.store(A, "a");
+  Cache.store(B, "b");
+  Cache.store(C, "c");
+  Cache.store(D, "d"); // Sweep clears A,B,C then evicts A.
+  EXPECT_FALSE(Cache.lookup(A).has_value());
+
+  ASSERT_TRUE(Cache.lookup(B).has_value()); // Re-references B.
+  Cache.store(E, "e"); // Hand passes B (second chance), evicts C.
+  EXPECT_TRUE(Cache.lookup(B).has_value())
+      << "referenced entry should survive the sweep";
+  EXPECT_FALSE(Cache.lookup(C).has_value()) << "unreferenced entry evicted";
+  EXPECT_TRUE(Cache.lookup(D).has_value());
+  EXPECT_TRUE(Cache.lookup(E).has_value());
+  EXPECT_EQ(Cache.stats().Entries, 3u);
+  EXPECT_EQ(Cache.stats().Evictions, 2u);
+}
+
+TEST(ShardedCacheTest, ClearResetsEvictionState) {
+  ShardedDigestCache<int> Cache(/*MaxEntries=*/0);
+  Cache.store(shard0Key(0), 1);
+  Cache.store(shard0Key(1), 2); // Evicts.
+  Cache.clear();
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+  Cache.store(shard0Key(2), 3);
+  ASSERT_TRUE(Cache.lookup(shard0Key(2)).has_value());
+  EXPECT_EQ(*Cache.lookup(shard0Key(2)), 3);
+}
+
+TEST(ConcurrentSetTest, InsertContainsClear) {
+  ConcurrentSet<int> Set;
+  EXPECT_FALSE(Set.contains(7));
+  EXPECT_TRUE(Set.insert(7));
+  EXPECT_FALSE(Set.insert(7)) << "second insert must lose the claim";
+  EXPECT_TRUE(Set.contains(7));
+  EXPECT_EQ(Set.size(), 1u);
+  Set.clear();
+  EXPECT_FALSE(Set.contains(7));
+  EXPECT_EQ(Set.size(), 0u);
+}
+
+TEST(ConcurrentSetTest, BitsetKeys) {
+  ConcurrentSet<Bitset, BitsetHash> Set;
+  Bitset A(70), B(70);
+  B.set(69);
+  EXPECT_TRUE(Set.insert(A));
+  EXPECT_TRUE(Set.insert(B));
+  EXPECT_FALSE(Set.insert(A));
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+// The claim semantics under contention: every value is claimed exactly
+// once no matter how many threads race for it.
+TEST(ConcurrentSetTest, ClaimsAreUniqueAcrossThreads) {
+  ConcurrentSet<int> Set;
+  constexpr int NumValues = 1000;
+  constexpr unsigned NumThreads = 8;
+  std::atomic<int> Claims{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int V = 0; V != NumValues; ++V)
+        if (Set.insert(V))
+          Claims.fetch_add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Claims.load(), NumValues);
+  EXPECT_EQ(Set.size(), static_cast<size_t>(NumValues));
+}
+
+TEST(SharedAppendListTest, AppendScanUnderContention) {
+  SharedAppendList<int> List;
+  EXPECT_EQ(List.size(), 0u);
+  EXPECT_FALSE(List.any([](int) { return true; }));
+
+  constexpr unsigned NumThreads = 4;
+  constexpr int PerThread = 250;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int V = 0; V != PerThread; ++V) {
+        List.append(static_cast<int>(T) * PerThread + V);
+        // Interleave scans with appends, as the search's matchesWrong
+        // does against learnCex.
+        List.any([](int X) { return X < 0; });
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(List.size(), NumThreads * PerThread);
+  EXPECT_TRUE(List.any([](int X) { return X == 999; }));
+  EXPECT_FALSE(List.any([](int X) { return X == 1000; }));
 }
