@@ -104,6 +104,16 @@ struct ShardPoint {
   unsigned Succeeded = 0;
 };
 
+/// One tight-budget measurement for the JSON report.
+struct BudgetPoint {
+  unsigned Shards = 0;
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  uint64_t TotalQueries = 0;
+  uint64_t BudgetSpent = 0;
+  unsigned Aborted = 0;
+};
+
 /// One caching-mode measurement for the JSON report.
 struct CachePoint {
   const char *Mode = "";
@@ -127,7 +137,8 @@ struct CachePoint {
 void writeJson(double Scale, size_t SweepJobs,
                const std::vector<SweepPoint> &Sweep, size_t CacheJobs,
                const std::vector<CachePoint> &CacheRuns,
-               const std::vector<ShardPoint> &ShardRuns) {
+               const std::vector<ShardPoint> &ShardRuns,
+               const std::vector<BudgetPoint> &BudgetRuns) {
   FILE *F = std::fopen("BENCH_engine.json", "w");
   if (!F) {
     std::printf("warning: cannot write BENCH_engine.json\n");
@@ -176,6 +187,19 @@ void writeJson(double Scale, size_t SweepJobs,
                  P.Shards, P.WallSeconds, P.JobsPerSec, P.Speedup,
                  static_cast<unsigned long long>(P.TotalQueries),
                  P.Succeeded, I + 1 == ShardRuns.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"budget\": [\n");
+  for (size_t I = 0; I != BudgetRuns.size(); ++I) {
+    const BudgetPoint &P = BudgetRuns[I];
+    std::fprintf(F,
+                 "    {\"shards\": %u, \"wall_seconds\": %.6f, "
+                 "\"jobs_per_sec\": %.3f, \"total_queries\": %llu, "
+                 "\"budget_spent\": %llu, \"aborted\": %u}%s\n",
+                 P.Shards, P.WallSeconds, P.JobsPerSec,
+                 static_cast<unsigned long long>(P.TotalQueries),
+                 static_cast<unsigned long long>(P.BudgetSpent), P.Aborted,
+                 I + 1 == BudgetRuns.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
@@ -431,7 +455,76 @@ int main(int Argc, char **Argv) {
         {9, 10, 9, 5, 10});
   }
 
+  banner("deterministic tight budgets: verdict stability + throughput");
+  // The same exhaustive instances under a tight per-job check budget:
+  // every verdict is a budget Abort (or a deterministic proof) decided
+  // by the ledger, so it must be byte-stable across shard counts —
+  // exactly the reproducibility the BudgetLedger exists to provide —
+  // and jobs/sec records what the bounded-work mode costs so the
+  // BENCH_engine.json trend history can flag a regression.
+  // Two regimes in one batch: the exhaustive double diamonds refute
+  // every depth-one root in a single call, so they complete (Impossible)
+  // even under one-call unit quotas — while the feasible long-path
+  // diamonds dive deep and get truncated mid-unit, yielding
+  // deterministic budget Aborts.
+  std::vector<SynthJob> BudgetJobs = ShardJobs;
+  for (SynthJob &Job : BudgetJobs)
+    Job.Portfolio[0].Opts.MaxCheckCalls = 30;
+  // One diamond per topology family keeps the section light: probing
+  // every depth-one unit under tiny quotas does genuinely wider work
+  // than an unlimited dive (that is the budget's semantics, not
+  // overhead).
+  for (size_t I = 0; I < Jobs.size(); I += std::max<size_t>(1, Jobs.size() / 3)) {
+    SynthJob Job = Jobs[I];
+    Job.Name += "-tight";
+    Job.Portfolio.emplace_back(); // incremental, switch granularity.
+    Job.Portfolio[0].Opts.MaxCheckCalls = 25;
+    BudgetJobs.push_back(std::move(Job));
+  }
+  row({"shards", "wall(s)", "jobs/s", "abrt", "spent"}, {9, 10, 9, 5, 10});
+  std::vector<BudgetPoint> BudgetRuns;
+  std::vector<SynthStatus> BudgetBaseVerdicts;
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    EngineOptions EO;
+    EO.NumWorkers = 1;
+    EO.CacheResults = false;
+    EO.IntraJobShards = Shards;
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(BudgetJobs);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (Shards == 1) {
+      BudgetBaseVerdicts = Verdicts;
+    } else if (Verdicts != BudgetBaseVerdicts) {
+      std::printf("ERROR: budget verdicts changed at %u shards\n", Shards);
+      return 1;
+    }
+
+    BudgetPoint P;
+    P.Shards = Shards;
+    P.WallSeconds = Rep.WallSeconds;
+    P.JobsPerSec =
+        Rep.WallSeconds > 0
+            ? static_cast<double>(BudgetJobs.size()) / Rep.WallSeconds
+            : 0.0;
+    P.TotalQueries = Rep.TotalQueries;
+    P.BudgetSpent = Rep.Merged.BudgetSpent;
+    P.Aborted = 0;
+    for (const SynthReport &R : Rep.Reports)
+      P.Aborted += R.Result.Status == SynthStatus::Aborted;
+    BudgetRuns.push_back(P);
+
+    row({std::to_string(Shards), format("%.3f", Rep.WallSeconds),
+         format("%.1f", P.JobsPerSec),
+         std::to_string(P.Aborted) + "/" +
+             std::to_string(Rep.Reports.size()),
+         std::to_string(P.BudgetSpent)},
+        {9, 10, 9, 5, 10});
+  }
+
   writeJson(Scale, Jobs.size(), Sweep, CacheJobs.size(), CacheRuns,
-            ShardRuns);
+            ShardRuns, BudgetRuns);
   return 0;
 }

@@ -274,14 +274,14 @@ bool SymbolicModel::check(std::vector<StateId> &Cex) {
 
 } // namespace
 
-CheckResult SymbolicChecker::bind(KripkeStructure &Structure,
+CheckResult SymbolicChecker::bindImpl(KripkeStructure &Structure,
                                   Formula Property) {
   K = &Structure;
   Phi = Property;
   return checkNow();
 }
 
-CheckResult SymbolicChecker::recheckAfterUpdate(const UpdateInfo &) {
+CheckResult SymbolicChecker::recheckImpl(const UpdateInfo &) {
   assert(K && "recheck before bind");
   return checkNow();
 }

@@ -40,13 +40,15 @@ namespace netupd {
 /// The symbolic batch checker; see file comment.
 class SymbolicChecker : public CheckerBackend {
 public:
-  CheckResult bind(KripkeStructure &K, Formula Phi) override;
-  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
   void notifyRollback() override {}
   const char *name() const override { return "NuSMV"; }
 
   /// Peak BDD node count over all queries served (a memory measure).
   size_t peakNodes() const { return PeakNodes; }
+
+protected:
+  CheckResult bindImpl(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckImpl(const UpdateInfo &Update) override;
 
 private:
   CheckResult checkNow();

@@ -146,13 +146,19 @@ Digest netupd::digestOf(const SynthJob &Job) {
     // Every option that can change the result; display Name, the Stop
     // token, and the sharding knobs (Shards, ShardCheckerFactory) are
     // presentation/control/performance, not semantics — any shard count
-    // yields an interchangeable result for the same job.
+    // yields an interchangeable result for the same job. The check
+    // budgets ARE semantic (they deterministically select the explored
+    // prefix set, successful sequences included). TimeoutSeconds is
+    // not: it is a soft wall hint whose expiry can only produce an
+    // Aborted result, and Aborted results never enter the cache — so
+    // two jobs differing only in timeout are interchangeable whenever
+    // either is cacheable.
     B.addBool(M.Opts.CexPruning);
     B.addBool(M.Opts.EarlyTermination);
     B.addBool(M.Opts.WaitRemoval);
     B.addBool(M.Opts.RuleGranularity);
     B.addU64(M.Opts.MaxCheckCalls);
-    B.addDouble(M.Opts.TimeoutSeconds);
+    B.addU64(M.Opts.UnitCheckCalls);
   }
   return B.finish();
 }
@@ -284,13 +290,27 @@ void SynthEngine::executeJob(detail::JobState &St) {
   } else if (Opts.CacheResults) {
     Digest Key = digestOf(St.Job);
     if (std::optional<CachedJobResult> Hit = Cache->lookup(Key)) {
+      assert(Hit->Result.Status != SynthStatus::Aborted &&
+             "aborted result found in the cache");
       Rep.Result = std::move(Hit->Result);
       Rep.Winner = std::move(Hit->Winner);
       Rep.FromCache = true;
       Rep.Seconds = JobClock.seconds();
     } else {
       Rep = runOneJob(St.Job, St.Index, Stop);
-      if (Rep.Result.Status != SynthStatus::Aborted)
+      // The one store site, and the invariant's enforcement point: an
+      // Aborted verdict reflects budgets and cancellation, never the
+      // instance, so it must not be replayed to digest-identical jobs.
+      // Interrupted Successes are excluded too: a cancel or wall expiry
+      // observed mid-race may have abandoned a unit that would outrank
+      // the recorded winner, so the sequence is timing-tainted and must
+      // not be served as the job's canonical answer (a cancel that
+      // raced completion and was never observed leaves the flag clear —
+      // that result is the real, cacheable one). The shutdown and
+      // queued-cancel paths report Aborted without reaching this code
+      // at all.
+      if (Rep.Result.Status != SynthStatus::Aborted &&
+          !Rep.Result.Stats.Interrupted)
         Cache->store(Key, CachedJobResult{Rep.Result, Rep.Winner});
     }
   } else {

@@ -21,8 +21,14 @@
 /// digest-identical job that already completed is served instantly with
 /// the recorded verdict, command sequence, and stats — isomorphic
 /// scenarios recur both within a batch and across batches, and
-/// re-synthesizing them is pure waste. Aborted results are never cached
-/// (they reflect budgets/cancellation, not the instance). The cache is
+/// re-synthesizing them is pure waste. Aborted results are never cached:
+/// cancellation and wall-clock expiry reflect the run, not the instance
+/// (deterministic budget aborts are reproducible and the budget is in
+/// the digest, so caching them would be sound — a recorded follow-on —
+/// but today every Aborted path skips the store; see executeJob, whose
+/// single store site enforces this, and tests/budget_test.cpp, which
+/// audits all three Aborted-writing paths including a cancel racing job
+/// completion). The cache is
 /// sharded and thread-safe (support/ShardedCache.h) and lives as long as
 /// the engine, so warm batches also benefit. Checker-level memoization
 /// ("memo:<backend>" specs, mc/MemoizingChecker.h) is independent and

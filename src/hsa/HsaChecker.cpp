@@ -11,7 +11,7 @@
 
 using namespace netupd;
 
-CheckResult HsaChecker::bind(KripkeStructure &Structure, Formula) {
+CheckResult HsaChecker::bindImpl(KripkeStructure &Structure, Formula) {
   K = &Structure;
   UndoStack.clear();
   Engine = std::make_unique<Plumber>(K->topology(), K->config(),
@@ -22,7 +22,7 @@ CheckResult HsaChecker::bind(KripkeStructure &Structure, Formula) {
   return R;
 }
 
-CheckResult HsaChecker::recheckAfterUpdate(const UpdateInfo &Update) {
+CheckResult HsaChecker::recheckImpl(const UpdateInfo &Update) {
   assert(K && Engine && "recheck before bind");
   assert(Update.OldTable && "need the pre-update table for rollback");
   UndoStack.emplace_back(Update.Sw, *Update.OldTable);

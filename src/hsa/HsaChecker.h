@@ -34,8 +34,6 @@ public:
   explicit HsaChecker(std::vector<ProbeSpec> Probes)
       : Probes(std::move(Probes)) {}
 
-  CheckResult bind(KripkeStructure &K, Formula Phi) override;
-  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
   void notifyRollback() override;
   bool providesCounterexamples() const override { return false; }
   const char *name() const override { return "NetPlumber"; }
@@ -50,6 +48,10 @@ public:
 
   /// Derives the probe specs describing a scenario's property.
   static std::vector<ProbeSpec> probesFromScenario(const Scenario &S);
+
+protected:
+  CheckResult bindImpl(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckImpl(const UpdateInfo &Update) override;
 
 private:
   std::vector<ProbeSpec> Probes;

@@ -17,6 +17,17 @@
 /// matched by either a notifyRollback (backtrack) or nothing (the search
 /// committed to the update and continued deeper).
 ///
+/// Budget charging: bind() and recheckAfterUpdate() are non-virtual
+/// entry points (backends implement bindImpl/recheckImpl) so logical
+/// budgets are charged at exactly one place. recheckAfterUpdate charges
+/// the attached BudgetAccount once per call, *before* any memoization
+/// below can intercept it — a cache hit costs a budget token exactly
+/// like a computed answer, which is what keeps the set of affordable
+/// search steps a pure function of the budget, independent of what any
+/// process-wide cache happens to contain. bind() is exempt: it is setup
+/// cost, and a sharded search performs one bind per shard — a layout
+/// artifact a deterministic budget must not observe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_MC_CHECKERBACKEND_H
@@ -24,6 +35,7 @@
 
 #include "kripke/Kripke.h"
 #include "ltl/Formula.h"
+#include "support/Budget.h"
 
 #include <atomic>
 #include <vector>
@@ -58,13 +70,27 @@ public:
   virtual ~CheckerBackend();
 
   /// Binds to \p K and \p Phi and performs the initial full check
-  /// (Fig. 4 line 7).
-  virtual CheckResult bind(KripkeStructure &K, Formula Phi) = 0;
+  /// (Fig. 4 line 7). Exempt from budget charging (see file comment).
+  CheckResult bind(KripkeStructure &K, Formula Phi) {
+    return bindImpl(K, Phi);
+  }
 
   /// Rechecks after the bound structure was mutated by one switch/rule
   /// update (Fig. 4 line 10). Backends that cannot exploit incrementality
-  /// simply run a full check.
-  virtual CheckResult recheckAfterUpdate(const UpdateInfo &Update) = 0;
+  /// simply run a full check. Charges the attached BudgetAccount once
+  /// per call — the single charging site of the whole query path.
+  CheckResult recheckAfterUpdate(const UpdateInfo &Update) {
+    if (Account)
+      Account->charge();
+    return recheckImpl(Update);
+  }
+
+  /// Attaches the logical-cost account future rechecks charge; null (the
+  /// default) disables charging. The caller keeps ownership and must not
+  /// outlive it — the search re-points this at each work unit's account.
+  /// Decorators deliberately do NOT forward the account to their inner
+  /// backend: the outer entry point has already charged the call.
+  void setBudget(BudgetAccount *A) { Account = A; }
 
   /// Notifies that the structure was rolled back to exactly the state
   /// before the matching recheckAfterUpdate (LIFO discipline).
@@ -96,7 +122,17 @@ public:
   virtual uint64_t cacheMisses() const { return 0; }
 
 protected:
+  /// The backend implementations behind the charging wrappers above.
+  virtual CheckResult bindImpl(KripkeStructure &K, Formula Phi) = 0;
+  virtual CheckResult recheckImpl(const UpdateInfo &Update) = 0;
+
   std::atomic<unsigned> Queries{0};
+
+private:
+  /// The account recheckAfterUpdate() charges; not owned, may be null.
+  /// Plain pointer on purpose: a backend is single-threaded (see
+  /// numQueries()), and so is its account.
+  BudgetAccount *Account = nullptr;
 };
 
 } // namespace netupd

@@ -15,7 +15,7 @@ using namespace netupd;
 
 CheckerBackend::~CheckerBackend() = default;
 
-CheckResult LabelingChecker::bind(KripkeStructure &Structure, Formula Phi) {
+CheckResult LabelingChecker::bindImpl(KripkeStructure &Structure, Formula Phi) {
   K = &Structure;
   Cl = std::make_unique<Closure>(Phi);
   UndoStack.clear();
@@ -211,7 +211,7 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
 }
 
 CheckResult
-LabelingChecker::recheckAfterUpdate(const UpdateInfo &Update) {
+LabelingChecker::recheckImpl(const UpdateInfo &Update) {
   assert(K && "recheck before bind");
   if (M == Mode::Batch)
     return fullCheck(); // fullCheck() counts the query.

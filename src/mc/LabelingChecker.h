@@ -45,8 +45,6 @@ public:
 
   explicit LabelingChecker(Mode M = Mode::Incremental) : M(M) {}
 
-  CheckResult bind(KripkeStructure &K, Formula Phi) override;
-  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
   void notifyRollback() override;
   const char *name() const override {
     return M == Mode::Incremental ? "Incremental" : "Batch";
@@ -58,6 +56,10 @@ public:
 
   /// The current label of \p S; exposed for tests.
   const LabelSet &label(StateId S) const { return Labels[S]; }
+
+protected:
+  CheckResult bindImpl(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckImpl(const UpdateInfo &Update) override;
 
 private:
   /// Computes the label of \p S from its successors' current labels.

@@ -39,7 +39,7 @@ Digest MemoizingChecker::currentKey() const {
   return B.finish();
 }
 
-CheckResult MemoizingChecker::bind(KripkeStructure &Structure, Formula F) {
+CheckResult MemoizingChecker::bindImpl(KripkeStructure &Structure, Formula F) {
   K = &Structure;
   Phi = F;
   PhiDigest = digestOf(F);
@@ -58,7 +58,7 @@ CheckResult MemoizingChecker::bind(KripkeStructure &Structure, Formula F) {
   return Res;
 }
 
-CheckResult MemoizingChecker::recheckAfterUpdate(const UpdateInfo &Update) {
+CheckResult MemoizingChecker::recheckImpl(const UpdateInfo &Update) {
   assert(K && "recheck before bind");
   // The structure was already mutated, so K->digest() names the new
   // configuration (the incremental maintenance in KripkeStructure).

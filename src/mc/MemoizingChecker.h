@@ -87,8 +87,6 @@ public:
   /// The process-wide cache used by factory-built "memo:" backends.
   static const std::shared_ptr<CheckCache> &processCache();
 
-  CheckResult bind(KripkeStructure &K, Formula Phi) override;
-  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
   void notifyRollback() override;
   bool providesCounterexamples() const override {
     return Inner->providesCounterexamples();
@@ -99,6 +97,15 @@ public:
   uint64_t cacheMisses() const override { return Misses; }
 
   CheckerBackend &inner() { return *Inner; }
+
+protected:
+  /// Budget note: the outer recheckAfterUpdate wrapper has already
+  /// charged before recheckImpl runs, so a cache hit and a computed
+  /// answer cost the same budget token (deterministic affordability);
+  /// the inner backend carries no account, so forwarding cannot
+  /// double-charge.
+  CheckResult bindImpl(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckImpl(const UpdateInfo &Update) override;
 
 private:
   /// What happened to the inner backend at one stack frame.

@@ -13,14 +13,14 @@
 
 using namespace netupd;
 
-CheckResult NaiveTraceChecker::bind(KripkeStructure &Structure,
+CheckResult NaiveTraceChecker::bindImpl(KripkeStructure &Structure,
                                     Formula Property) {
   K = &Structure;
   Phi = Property;
   return checkNow();
 }
 
-CheckResult NaiveTraceChecker::recheckAfterUpdate(const UpdateInfo &) {
+CheckResult NaiveTraceChecker::recheckImpl(const UpdateInfo &) {
   return checkNow();
 }
 

@@ -28,10 +28,12 @@ public:
   explicit NaiveTraceChecker(size_t MaxTraces = 1u << 20)
       : MaxTraces(MaxTraces) {}
 
-  CheckResult bind(KripkeStructure &K, Formula Phi) override;
-  CheckResult recheckAfterUpdate(const UpdateInfo &Update) override;
   void notifyRollback() override {}
   const char *name() const override { return "NaiveTrace"; }
+
+protected:
+  CheckResult bindImpl(KripkeStructure &K, Formula Phi) override;
+  CheckResult recheckImpl(const UpdateInfo &Update) override;
 
 private:
   CheckResult checkNow();

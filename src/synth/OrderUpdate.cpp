@@ -32,11 +32,29 @@
 // prunes, and since all units complete before a verdict is reached, every
 // skipped subtree has been fully explored by its claimant.
 //
+// Deterministic budget mode (a finite MaxCheckCalls/UnitCheckCalls)
+// trades the shared pruning state for reproducibility: cross-shard
+// sharing makes *which* prefixes a unit explores depend on sibling
+// timing, which is fine when every unit runs to completion (the verdict
+// is exhaustion-stable) but fatal when a budget truncates units — the
+// same job could then Abort or Succeed depending on shard layout. So
+// under a budget each unit explores with unit-local V/W/SAT state and a
+// fixed quota drawn from the BudgetLedger (support/Budget.h), making a
+// unit's outcome — Success with a specific sequence, exhausted quota, or
+// fully-explored failure — a pure function of (instance, quota). The
+// winner is the lowest-indexed successful unit, not the first in time,
+// so the returned sequence is deterministic too. The wall clock never
+// interrupts a unit: TimeoutSeconds is polled only between units
+// (everywhere, not just in budget mode — the per-candidate clock read is
+// gone). The duplicated cross-unit exploration this costs is the price
+// of byte-identical verdicts at any shard and worker count.
+//
 //===----------------------------------------------------------------------===//
 
 #include "synth/OrderUpdate.h"
 
 #include "support/Bitset.h"
+#include "support/Budget.h"
 #include "support/ConcurrentSet.h"
 #include "support/Timer.h"
 #include "synth/EarlyTermination.h"
@@ -46,6 +64,7 @@
 #include <atomic>
 #include <cassert>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 using namespace netupd;
@@ -127,6 +146,15 @@ struct SearchContext {
   /// exhaustive bench when it did).
   bool Sharded = false;
 
+  /// True when a finite check budget engaged deterministic budget mode
+  /// (see the file comment): pruning state is unit-local (the containers
+  /// below sit unused), quotas come from Ledger, and the winner is the
+  /// lowest successful unit. Decided before any searcher runs.
+  bool Deterministic = false;
+  /// The per-unit carve of the check budget; unlimited when
+  /// !Deterministic.
+  BudgetLedger Ledger;
+
   // Pruning state, one representation per mode: grow-only either way,
   // so the concurrent variants are shareable (see ConcurrentSet.h).
   std::unordered_set<Bitset, BitsetHash> SeqVisited;   // V of Fig. 4.
@@ -161,26 +189,42 @@ struct SearchContext {
       SeqWrong.push_back(std::move(Entry));
   }
 
-  EarlyTermination ET; // Internally synchronized.
+  EarlyTermination ET; // Internally synchronized; non-budget mode only.
 
-  // Budgets and cancellation. CheckCalls is global so MaxCheckCalls
-  // bounds the whole run, not each shard.
+  // Cancellation and abort-cause bookkeeping. The wall clock only
+  // matters between work units (soft hint); check budgets are accounted
+  // per unit through Ledger, so there is no shared call counter left.
   Timer Clock;
-  std::atomic<uint64_t> CheckCalls{0};
   /// Fired by the first shard to complete a sequence; siblings abandon
-  /// their frontier at the next checkpoint.
+  /// their frontier at the next checkpoint. Never fired in deterministic
+  /// budget mode, where a later-found lower unit may still outrank the
+  /// current winner (see recordWinner).
   StopSource Found;
   /// Fired on any abort (budget, external stop, SAT impossibility) so
   /// sibling shards stop promptly instead of re-deriving the condition.
+  /// Whoever fires it records the cause flag first, so a shard stopped
+  /// by Halt never needs to guess why.
   StopSource Halt;
-  std::atomic<bool> BudgetAbort{false};
+  /// Abort causes, kept separate so verdicts and stats never conflate a
+  /// user cancellation with a budget decision (or either with a race
+  /// loss, which sets no flag at all).
+  std::atomic<bool> ExternalAbort{false};
+  std::atomic<bool> WallAbort{false};
+  /// Units whose quota ran dry mid-subtree (deterministic across shard
+  /// layouts up to winner cancellation; any nonzero count means the
+  /// exploration was truncated and exhaustion cannot be claimed).
+  std::atomic<uint64_t> ExhaustedUnits{0};
   std::atomic<bool> EtImpossible{false};
 
-  /// Winner slot: first completed sequence wins; later finds (possible
-  /// in the window before Found propagates) are dropped.
+  /// Winner slot. Non-budget mode: first completed sequence in time
+  /// wins and fires Found. Deterministic mode: the *lowest-indexed*
+  /// successful unit wins — a pure function of the instance — and
+  /// BestUnit lets shards abandon outranked units without a stop token.
   std::mutex WinnerM;
   bool HaveWinner = false;
+  size_t WinnerUnit = SIZE_MAX;
   std::vector<unsigned> WinnerSeq;
+  std::atomic<size_t> BestUnit{SIZE_MAX};
 
   /// The next top-level work unit (an index into OpOrder) to explore.
   std::atomic<size_t> NextUnit{0};
@@ -193,15 +237,25 @@ struct SearchContext {
     return anyToken(anyToken(Opts.Stop, Found.token()), Halt.token());
   }
 
-  void recordWinner(const std::vector<unsigned> &Seq) {
+  /// True when the soft wall-clock hint has expired; polled only between
+  /// work units, never inside one.
+  bool softWallExpired() const {
+    return Opts.TimeoutSeconds > 0.0 &&
+           Clock.seconds() > Opts.TimeoutSeconds;
+  }
+
+  void recordWinner(size_t Unit, const std::vector<unsigned> &Seq) {
     {
       std::lock_guard<std::mutex> Lock(WinnerM);
-      if (!HaveWinner) {
+      if (!HaveWinner || (Deterministic && Unit < WinnerUnit)) {
         HaveWinner = true;
+        WinnerUnit = Unit;
         WinnerSeq = Seq;
+        BestUnit.store(Unit, std::memory_order_relaxed);
       }
     }
-    Found.requestStop();
+    if (!Deterministic)
+      Found.requestStop();
   }
 };
 
@@ -277,11 +331,11 @@ public:
   }
 
   /// Binds the checker to this shard's structure and runs the initial
-  /// full check (Fig. 4 line 7); counted like any other query.
+  /// full check (Fig. 4 line 7); counted like any other query but exempt
+  /// from budget charging — setup cost, performed once per shard.
   CheckResult bindInitial() {
     CheckResult R = Checker.bind(K, Ctx.Phi);
     ++Stats.CheckCalls;
-    Ctx.CheckCalls.fetch_add(1, std::memory_order_relaxed);
     return R;
   }
 
@@ -291,20 +345,40 @@ public:
     for (;;) {
       if (AbortFlag)
         return; // Cause already recorded where the flag was set.
+      if (Ctx.NextUnit.load(std::memory_order_relaxed) >=
+          Ctx.OpOrder.size())
+        return; // Every unit claimed: nothing left for this shard, so a
+                // stop or an expired wall observed now must not taint
+                // the verdict — whether the search is exhaustive is
+                // decided by the shards that own the claimed units.
       if (Stop.stopRequested()) {
-        // A stop seen here leaves work units unexplored, so it must be
-        // recorded: without the flag the verdict block would mistake
-        // this cancellation for exhaustion and report a false
-        // Impossible proof. (A recorded winner still outranks the
-        // stray BudgetAbort when the stop was a sibling's Found.)
-        noteAbort();
+        // A stop seen here leaves work units unexplored, so its cause
+        // must be recorded: without a flag the verdict block would
+        // mistake this cancellation for exhaustion and report a false
+        // Impossible proof. noteStop() classifies — a sibling's Found
+        // is not an abort at all.
+        noteStop();
+        return;
+      }
+      if (Ctx.softWallExpired()) {
+        // The soft hint's only firing point: between units, so a unit
+        // that starts always runs to its deterministic conclusion.
+        Ctx.WallAbort.store(true, std::memory_order_relaxed);
+        Ctx.Halt.requestStop();
         return;
       }
       size_t Unit = Ctx.NextUnit.fetch_add(1, std::memory_order_relaxed);
       if (Unit >= Ctx.OpOrder.size())
         return; // Genuine exhaustion: every unit claimed.
-      if (tryCandidate(Ctx.OpOrder[Unit])) {
-        Ctx.recordWinner(AppliedSeq);
+      if (Ctx.Deterministic &&
+          Unit > Ctx.BestUnit.load(std::memory_order_relaxed))
+        return; // A lower unit already won; everything from here on is
+                // outranked (units are pulled in increasing order).
+      beginUnit(Unit);
+      bool Won = tryCandidate(Ctx.OpOrder[Unit]);
+      finishUnit();
+      if (Won) {
+        Ctx.recordWinner(Unit, AppliedSeq);
         return; // Keep the final structure; no rollback.
       }
     }
@@ -313,6 +387,40 @@ public:
   SynthStats Stats;
 
 private:
+  /// Resets the unit-scoped state before exploring unit \p Unit. In
+  /// deterministic mode that is the whole point: fresh local V/W/SAT
+  /// state and a fresh quota account make the unit's outcome a pure
+  /// function of (instance, quota).
+  void beginUnit(size_t Unit) {
+    CurrentUnit = Unit;
+    UnitStop = false;
+    UnitTruncated = false;
+    if (!Ctx.Deterministic)
+      return;
+    Account = Ctx.Ledger.openAccount(Unit);
+    Checker.setBudget(&Account);
+    UnitVisited.clear();
+    UnitWrong.clear();
+    FailuresSinceEtCheck = 0;
+    if (Ctx.Opts.EarlyTermination) {
+      UnitET.emplace();
+      UnitET->setStopToken(Stop);
+    }
+  }
+
+  /// Folds the finished (or abandoned) unit's accounting into the shard
+  /// stats and the shared abort-cause flags.
+  void finishUnit() {
+    if (!Ctx.Deterministic)
+      return;
+    Stats.BudgetSpent += Account.spent();
+    if (UnitET)
+      Stats.SatClauses += UnitET->numClauses();
+    if (UnitTruncated)
+      Ctx.ExhaustedUnits.fetch_add(1, std::memory_order_relaxed);
+    Checker.setBudget(nullptr);
+  }
+
   /// The recursive part of Fig. 4: try every remaining candidate from
   /// the current configuration.
   bool dfs() {
@@ -324,7 +432,7 @@ private:
         continue;
       if (tryCandidate(I))
         return true;
-      if (AbortFlag)
+      if (AbortFlag || UnitStop)
         return false;
     }
     return false;
@@ -336,24 +444,57 @@ private:
   bool tryCandidate(unsigned I) {
     Bitset Next = Applied;
     Next.set(I);
-    if (Ctx.visitedContains(Next)) {
-      ++Stats.VisitedPrunes;
-      return false;
-    }
-    if (Ctx.Opts.CexPruning && Ctx.matchesWrong(Next)) {
-      ++Stats.CexPrunes;
-      return false;
-    }
-    if (hitLimits()) {
-      noteAbort();
-      return false;
-    }
-    // The claim: exactly one shard wins this insert and explores the
-    // subtree; a loser counts a visited-prune exactly as if the subtree
-    // had been explored earlier in a sequential run.
-    if (!Ctx.visitedClaim(Next)) {
-      ++Stats.VisitedPrunes;
-      return false;
+    if (Ctx.Deterministic) {
+      // Unit-local pruning: nothing another shard does can change which
+      // prefixes this unit affords, so the charge sequence below is
+      // deterministic.
+      if (Ctx.Opts.CexPruning && matchesUnitWrong(Next)) {
+        ++Stats.CexPrunes;
+        return false;
+      }
+      if (!UnitVisited.insert(Next).second) {
+        ++Stats.VisitedPrunes;
+        return false;
+      }
+      if (Stop.stopRequested()) {
+        noteStop();
+        return false;
+      }
+      if (Ctx.BestUnit.load(std::memory_order_relaxed) < CurrentUnit) {
+        // Outranked mid-unit by a lower winner; every unit this shard
+        // could still pull is outranked too, so end the shard. No cause
+        // flag: a recorded winner makes this a Success, not an abort.
+        AbortFlag = true;
+        return false;
+      }
+      if (!Account.canSpend()) {
+        // Quota dry mid-subtree: abandon this unit (recorded as
+        // truncation by finishUnit) but keep pulling later units, which
+        // own their quotas and may still conclude deterministically.
+        UnitTruncated = true;
+        UnitStop = true;
+        return false;
+      }
+    } else {
+      if (Ctx.visitedContains(Next)) {
+        ++Stats.VisitedPrunes;
+        return false;
+      }
+      if (Ctx.Opts.CexPruning && Ctx.matchesWrong(Next)) {
+        ++Stats.CexPrunes;
+        return false;
+      }
+      if (Stop.stopRequested()) {
+        noteStop();
+        return false;
+      }
+      // The claim: exactly one shard wins this insert and explores the
+      // subtree; a loser counts a visited-prune exactly as if the
+      // subtree had been explored earlier in a sequential run.
+      if (!Ctx.visitedClaim(Next)) {
+        ++Stats.VisitedPrunes;
+        return false;
+      }
     }
 
     const MicroOp &Op = Ctx.Ops[I];
@@ -373,9 +514,9 @@ private:
     Info.NewTable = &NewTable;
     Info.ChangedStates = &Changed;
 
+    // The checker charges the unit account here (mc/CheckerBackend.h).
     CheckResult Res = Checker.recheckAfterUpdate(Info);
     ++Stats.CheckCalls;
-    Ctx.CheckCalls.fetch_add(1, std::memory_order_relaxed);
 
     bool Success = false;
     if (Res.Holds) {
@@ -400,7 +541,11 @@ private:
     if (Ctx.Opts.EarlyTermination && !Res.Holds &&
         ++FailuresSinceEtCheck >= EtCheckInterval) {
       FailuresSinceEtCheck = 0;
-      if (Ctx.ET.impossible()) {
+      // Deterministic mode consults the unit-local solver (its clause
+      // set, and therefore its verdict, is a pure function of the unit);
+      // an UNSAT answer is an instance-level proof either way.
+      EarlyTermination &ET = Ctx.Deterministic ? *UnitET : Ctx.ET;
+      if (ET.impossible()) {
         Stats.EarlyTerminated = true;
         Ctx.EtImpossible.store(true, std::memory_order_relaxed);
         Ctx.Halt.requestStop();
@@ -439,10 +584,24 @@ private:
         Mask.set(OpIdx);
       }
     }
-    Bitset Value = Bits & Mask;
     if (Mask.none())
       return; // Defensive: a cex with no in-diff switch teaches nothing.
-    Ctx.addWrong({Mask, Value});
+    Bitset Value = Bits & Mask;
+    // Guard before ANY mutation: a counterexample independent of every
+    // applied update (Value empty) describes a violation the verified
+    // initial configuration would exhibit too, so the entry it would
+    // plant — (Mask, all-zeros), matching every configuration that has
+    // not yet touched those switches — is unsound and must never reach
+    // the wrong-set or the SAT layer. A counterexample-producing backend
+    // cannot generate one (see EarlyTermination.h), but a buggy or
+    // approximating backend must degrade to "learn nothing", not to an
+    // incorrect Impossible.
+    if (Value.none())
+      return;
+    if (Ctx.Deterministic)
+      UnitWrong.push_back({Mask, Value});
+    else
+      Ctx.addWrong({Mask, Value});
 
     if (!Ctx.Opts.EarlyTermination)
       return;
@@ -455,34 +614,30 @@ private:
       else
         NotUpdated.push_back(I);
     }
-    // A violating trace through entirely not-updated switches would also
-    // exist in the initial configuration, which was verified; so Updated
-    // is never empty here (see EarlyTermination.h).
-    assert(!Updated.empty() && "counterexample independent of any update");
-    if (Updated.empty())
-      return;
-    Ctx.ET.addCexConstraint(Updated, NotUpdated);
+    (Ctx.Deterministic ? *UnitET : Ctx.ET)
+        .addCexConstraint(Updated, NotUpdated);
   }
 
-  bool hitLimits() {
-    if (Stop.stopRequested())
-      return true;
-    if (Ctx.Opts.TimeoutSeconds > 0.0 &&
-        Ctx.Clock.seconds() > Ctx.Opts.TimeoutSeconds)
-      return true;
-    if (Ctx.Opts.MaxCheckCalls != 0 &&
-        Ctx.CheckCalls.load(std::memory_order_relaxed) >=
-            Ctx.Opts.MaxCheckCalls)
-      return true;
+  bool matchesUnitWrong(const Bitset &Bits) const {
+    for (const std::pair<Bitset, Bitset> &Entry : UnitWrong)
+      if ((Bits & Entry.first) == Entry.second)
+        return true;
     return false;
   }
 
-  /// Budget/stop abort: remember it globally and wake the siblings. (If
-  /// the trigger was a sibling's Found token, the stray BudgetAbort is
-  /// harmless — a recorded winner outranks it in the final verdict.)
-  void noteAbort() {
+  /// A stop observed at a checkpoint ends this shard; classify why. A
+  /// sibling's Found token is no abort at all — the recorded winner
+  /// outranks everything, and flagging it would leak a phantom budget
+  /// abort into stats and verdict classification. A Halt means the
+  /// shard that fired it already recorded the cause. Anything left is
+  /// the caller's external token.
+  void noteStop() {
     AbortFlag = true;
-    Ctx.BudgetAbort.store(true, std::memory_order_relaxed);
+    if (Ctx.Found.token().stopRequested())
+      return;
+    if (Ctx.Halt.token().stopRequested())
+      return;
+    Ctx.ExternalAbort.store(true, std::memory_order_relaxed);
     Ctx.Halt.requestStop();
   }
 
@@ -498,6 +653,20 @@ private:
   /// is wasted work when the constraints are still easily satisfiable.
   unsigned FailuresSinceEtCheck = 0;
   static constexpr unsigned EtCheckInterval = 8;
+
+  // Unit-scoped state (deterministic budget mode); reset by beginUnit.
+  size_t CurrentUnit = 0;
+  BudgetAccount Account;
+  /// Abandon the current unit (quota dry) but keep the shard alive.
+  bool UnitStop = false;
+  /// The quota ran dry mid-subtree — distinct from finishing a unit
+  /// with the quota exactly spent, which is a complete exploration.
+  bool UnitTruncated = false;
+  std::unordered_set<Bitset, BitsetHash> UnitVisited;
+  std::vector<std::pair<Bitset, Bitset>> UnitWrong;
+  /// Unit-local SAT layer (constructed per unit so its clause set is a
+  /// function of the unit alone); only engaged in deterministic mode.
+  std::optional<EarlyTermination> UnitET;
 };
 
 /// Replays \p Seq from the initial configuration, snapshotting the table
@@ -532,6 +701,17 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   Ctx.ET.setStopToken(Ctx.stopToken());
   Ctx.buildOps();
 
+  // A finite check budget engages deterministic mode: carve it into
+  // per-unit quotas once, from (budget, #units) alone. UnitCheckCalls
+  // bounds each unit directly and wins over the carved total.
+  if (Opts.UnitCheckCalls > 0)
+    Ctx.Ledger =
+        BudgetLedger::perUnit(Opts.UnitCheckCalls, Ctx.OpOrder.size());
+  else if (Opts.MaxCheckCalls > 0)
+    Ctx.Ledger =
+        BudgetLedger::carveTotal(Opts.MaxCheckCalls, Ctx.OpOrder.size());
+  Ctx.Deterministic = Ctx.Ledger.limited();
+
   // Decide the mode before anything searches: Sharded selects the
   // concurrent pruning containers, so it must be constant from the
   // first probe on.
@@ -553,8 +733,18 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   double SearchSeconds = 0.0;
   auto Finish = [&](SynthStatus Status) {
     Total.mergeFrom(Primary.Stats);
-    Total.SatClauses = Ctx.ET.numClauses();
+    // Unit-local solvers folded their clause counts into shard stats
+    // already (deterministic mode); the shared solver adds the rest.
+    Total.SatClauses += Ctx.ET.numClauses();
     Total.EarlyTerminated |= Ctx.EtImpossible.load();
+    Total.ExhaustedUnits = Ctx.ExhaustedUnits.load();
+    Total.HitBudget = Ctx.WallAbort.load() || Total.ExhaustedUnits > 0;
+    Total.Interrupted = Ctx.ExternalAbort.load() || Ctx.WallAbort.load();
+    if (Ctx.Deterministic) {
+      uint64_t Cap = Ctx.Ledger.totalQuota();
+      Total.BudgetRemaining =
+          Cap > Total.BudgetSpent ? Cap - Total.BudgetSpent : 0;
+    }
     Total.SynthSeconds = SearchSeconds;
     Result.Status = Status;
     Result.Stats = Total;
@@ -620,8 +810,10 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   if (!Ctx.HaveWinner) {
     if (Ctx.EtImpossible.load())
       Finish(SynthStatus::Impossible); // SAT proof; outranks an abort.
-    else if (Ctx.BudgetAbort.load())
-      Finish(SynthStatus::Aborted);
+    else if (Ctx.ExternalAbort.load() || Ctx.WallAbort.load() ||
+             Ctx.ExhaustedUnits.load() > 0)
+      Finish(SynthStatus::Aborted); // Truncated somewhere: exhaustion
+                                    // cannot be claimed.
     else
       Finish(SynthStatus::Impossible); // Exhaustive: every unit explored.
     return Result;

@@ -38,6 +38,19 @@
 /// sequence is returned may vary with timing (same sequence class, not
 /// the same sequence). See docs/ARCHITECTURE.md for the design.
 ///
+/// Deterministic budgets: a finite check budget (MaxCheckCalls or
+/// UnitCheckCalls) switches the search into deterministic budget mode.
+/// The budget is carved into fixed per-work-unit quotas
+/// (support/Budget.h), each unit explores with unit-local pruning state,
+/// and the lowest-indexed successful unit supplies the result — so the
+/// verdict AND the returned sequence are a pure function of (job,
+/// budget), identical at every shard and worker count, Aborted verdicts
+/// included. TimeoutSeconds is only a soft wall-clock hint that fires
+/// between work units, never inside one; it is the single remaining
+/// source of timing dependence and is excluded from job digests
+/// (timeout-influenced runs are Aborted, and Aborted results are never
+/// cached).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_SYNTH_ORDERUPDATE_H
@@ -63,8 +76,29 @@ struct SynthOptions {
   bool EarlyTermination = true;
   bool WaitRemoval = true;
   bool RuleGranularity = false;
-  /// Abort knobs (0 = unlimited); the paper used a 10-minute timeout.
+  /// Hard logical budget (0 = unlimited): the total number of charged
+  /// check calls the search may spend, carved deterministically into
+  /// per-work-unit quotas (earlier units receive the remainder, every
+  /// unit is floored at one call — see support/Budget.h). Budgets are
+  /// inclusive: a budget of exactly N permits N calls. Initial bind()
+  /// checks are setup cost and exempt from charging, so the bound is
+  /// independent of the shard count. Setting this (or UnitCheckCalls)
+  /// engages deterministic budget mode: verdicts and sequences —
+  /// Aborted included — become a pure function of (job, budget).
   uint64_t MaxCheckCalls = 0;
+  /// Per-unit variant of the same budget (0 = unset): every work unit
+  /// gets exactly this quota, bounding each depth-one subtree directly
+  /// (hard total: quota x #units). When both knobs are set,
+  /// UnitCheckCalls wins. Like MaxCheckCalls it is semantic and part of
+  /// digestOf(SynthJob).
+  uint64_t UnitCheckCalls = 0;
+  /// Soft wall-clock hint (0 = none); the paper used a 10-minute
+  /// timeout. Checked only *between* work units — a unit that starts
+  /// always completes (or exhausts its quota), so pair a timeout with a
+  /// check budget to bound unit length. Because expiry can only turn a
+  /// run into Aborted (never alter a completed verdict) and Aborted
+  /// results are never cached, this knob is excluded from
+  /// digestOf(SynthJob).
   double TimeoutSeconds = 0.0;
   /// Cooperative-cancellation token, polled at the same checkpoints as
   /// the abort knobs. The engine's portfolio mode fires it to cancel
@@ -106,6 +140,26 @@ struct SynthStats {
   /// memoizing ones, whose cache hits cost no inner-backend work.
   uint64_t BackendQueries = 0;
   bool EarlyTerminated = false;
+  /// Deterministic-budget accounting (all zero for unlimited runs):
+  /// charged check calls across every work unit, the unspent remainder
+  /// of the ledger's hard total, and the number of units that ran out
+  /// of quota. Spent/Remaining may vary with scheduling (a sibling can
+  /// start a doomed unit before the winner propagates); the *verdict*
+  /// never does.
+  uint64_t BudgetSpent = 0;
+  uint64_t BudgetRemaining = 0;
+  uint64_t ExhaustedUnits = 0;
+  /// True iff a budget condition shaped the run: a unit exhausted its
+  /// quota or the soft wall hint expired. Never set by a race loss or
+  /// an external cancellation (see MemberOutcome::Cancelled for the
+  /// former).
+  bool HitBudget = false;
+  /// True iff a timing event — an external stop or the soft wall hint —
+  /// was observed cutting the run short. A Success with this flag may
+  /// carry a sequence that is not the deterministic lowest-unit one
+  /// (an outranking unit may have been abandoned mid-flight), so the
+  /// engine refuses to cache interrupted results.
+  bool Interrupted = false;
   unsigned WaitsBeforeRemoval = 0;
   unsigned WaitsAfterRemoval = 0;
   double SynthSeconds = 0.0;
@@ -123,6 +177,11 @@ struct SynthStats {
     CacheMisses += S.CacheMisses;
     BackendQueries += S.BackendQueries;
     EarlyTerminated |= S.EarlyTerminated;
+    BudgetSpent += S.BudgetSpent;
+    BudgetRemaining += S.BudgetRemaining;
+    ExhaustedUnits += S.ExhaustedUnits;
+    HitBudget |= S.HitBudget;
+    Interrupted |= S.Interrupted;
     WaitsBeforeRemoval += S.WaitsBeforeRemoval;
     WaitsAfterRemoval += S.WaitsAfterRemoval;
     SynthSeconds += S.SynthSeconds;
@@ -140,7 +199,10 @@ enum class SynthStatus {
   /// command sequence can be correct (Def. 3 quantifies over all traces,
   /// including pre-update ones).
   InitialViolation,
-  /// Gave up due to TimeoutSeconds / MaxCheckCalls.
+  /// Gave up: a work unit exhausted its deterministic check quota
+  /// (MaxCheckCalls / UnitCheckCalls), the soft TimeoutSeconds hint
+  /// expired between units, or an external stop token fired. Budget
+  /// aborts are reproducible (see the file comment); never cached.
   Aborted
 };
 

@@ -360,7 +360,7 @@ public:
   explicit GateChecker(std::shared_ptr<std::atomic<bool>> Open)
       : Open(std::move(Open)) {}
 
-  CheckResult bind(KripkeStructure &, Formula) override {
+  CheckResult bindImpl(KripkeStructure &, Formula) override {
     while (!Open->load())
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     ++Queries;
@@ -368,7 +368,7 @@ public:
     R.Holds = true;
     return R;
   }
-  CheckResult recheckAfterUpdate(const UpdateInfo &) override {
+  CheckResult recheckImpl(const UpdateInfo &) override {
     ++Queries;
     CheckResult R;
     R.Holds = true; // Accept everything: the search succeeds immediately.

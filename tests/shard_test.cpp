@@ -172,8 +172,8 @@ public:
                  std::shared_ptr<std::atomic<unsigned>> Count)
       : Gate(std::move(Gate)), Count(std::move(Count)) {}
 
-  CheckResult bind(KripkeStructure &, Formula) override { return serve(); }
-  CheckResult recheckAfterUpdate(const UpdateInfo &) override {
+  CheckResult bindImpl(KripkeStructure &, Formula) override { return serve(); }
+  CheckResult recheckImpl(const UpdateInfo &) override {
     return serve();
   }
   void notifyRollback() override {}
@@ -281,12 +281,12 @@ public:
                 std::shared_ptr<std::atomic<uint64_t>> Total)
       : Inner(std::move(Inner)), Total(std::move(Total)) {}
 
-  CheckResult bind(KripkeStructure &K, Formula Phi) override {
+  CheckResult bindImpl(KripkeStructure &K, Formula Phi) override {
     ++Queries;
     Total->fetch_add(1);
     return Inner->bind(K, Phi);
   }
-  CheckResult recheckAfterUpdate(const UpdateInfo &U) override {
+  CheckResult recheckImpl(const UpdateInfo &U) override {
     ++Queries;
     Total->fetch_add(1);
     return Inner->recheckAfterUpdate(U);
@@ -409,13 +409,13 @@ public:
   GatedRejectAll(std::shared_ptr<std::atomic<bool>> Gate)
       : Gate(std::move(Gate)) {}
 
-  CheckResult bind(KripkeStructure &, Formula) override {
+  CheckResult bindImpl(KripkeStructure &, Formula) override {
     ++Queries;
     CheckResult R;
     R.Holds = true;
     return R;
   }
-  CheckResult recheckAfterUpdate(const UpdateInfo &) override {
+  CheckResult recheckImpl(const UpdateInfo &) override {
     while (!Gate->load())
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     ++Queries;
