@@ -18,14 +18,28 @@
 /// section measures the two memoization layers on a duplicate-heavy
 /// batch: the engine result cache (whole jobs) and the checker-level
 /// "memo:" cache (individual queries). A fourth section measures
-/// *intra-job* shard scaling: the same batch on a single engine worker
-/// with the DFS prefix-split across 1/2/4 shards
-/// (EngineOptions::IntraJobShards), verdicts asserted stable.
+/// *intra-job* shard scaling on deep exhaustive proofs: one engine
+/// worker, the DFS prefix-split across 1/2/4 shards
+/// (EngineOptions::IntraJobShards), verdicts asserted stable. A sixth
+/// section measures cross-job learning (EngineOptions::SharedLearning):
+/// an autotuning-style probe stream over one scenario family, run with
+/// the constraint store off and on — verdicts must be byte-identical
+/// and the reuse run must issue strictly fewer checker queries.
+///
+/// Workload sizing: the two parallel-scaling sections (sweep, shards)
+/// run at a floored per-section scale — max(--scale, 1.0) — so their
+/// batches are long enough for speedups to mean something even when CI
+/// smoke-runs the bench at a reduced global scale (at --scale=0.25 the
+/// old sizing measured pure engine/shard setup overhead: ~1.0x at 4
+/// workers, 0.73x at 4 shards). Each section's effective scale is
+/// recorded in BENCH_engine.json so trend comparisons only ever compare
+/// like with like.
 ///
 /// Everything measured is also written to BENCH_engine.json (jobs/sec,
-/// TotalQueries, cache hit rates, shard speedups) so the perf trajectory
-/// is tracked machine-readably from PR 2 onward; CI archives the file
-/// per run.
+/// TotalQueries, cache hit rates, shard speedups, learning savings) so
+/// the perf trajectory is tracked machine-readably from PR 2 onward; CI
+/// archives the file per run and fail-soft-compares it against the
+/// previous run (scripts/check_bench_trend.py).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +76,10 @@ std::vector<SynthJob> buildBatch(double Scale) {
     Jobs.push_back(std::move(Job));
   };
 
-  unsigned PerFamily = std::max(3u, static_cast<unsigned>(3 * Scale));
+  // Six per family (at scale 1): enough jobs that no single heavy head
+  // can dominate the batch wall-clock — with the old three, the largest
+  // zoo instance bounded the 4-worker wall and the sweep read ~1.0x.
+  unsigned PerFamily = std::max(3u, static_cast<unsigned>(6 * Scale));
 
   // Zoo-like WANs, largest first so the batch has heavy heads.
   std::vector<unsigned> ZooIdx(NumZooLike);
@@ -72,7 +89,8 @@ std::vector<SynthJob> buildBatch(double Scale) {
     return zooLikeSize(A) > zooLikeSize(B);
   });
   for (unsigned I = 0; I != PerFamily; ++I)
-    AddJob("zoo-" + std::to_string(ZooIdx[I]), buildZooLike(ZooIdx[I]));
+    AddJob("zoo-" + std::to_string(ZooIdx[I % NumZooLike]),
+           buildZooLike(ZooIdx[I % NumZooLike]));
 
   for (unsigned I = 0; I != PerFamily; ++I)
     AddJob("fattree-8", buildFatTree(8));
@@ -114,6 +132,16 @@ struct BudgetPoint {
   unsigned Aborted = 0;
 };
 
+/// One learning-mode measurement for the JSON report.
+struct LearnPoint {
+  const char *Mode = "";
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  uint64_t TotalQueries = 0;
+  uint64_t Imported = 0, Exported = 0, SeededPrunes = 0;
+  unsigned Succeeded = 0;
+};
+
 /// One caching-mode measurement for the JSON report.
 struct CachePoint {
   const char *Mode = "";
@@ -133,12 +161,16 @@ struct CachePoint {
   }
 };
 
-/// Writes everything measured to BENCH_engine.json.
-void writeJson(double Scale, size_t SweepJobs,
-               const std::vector<SweepPoint> &Sweep, size_t CacheJobs,
-               const std::vector<CachePoint> &CacheRuns,
+/// Writes everything measured to BENCH_engine.json. Every section
+/// records its own effective scale (the parallel sections run floored —
+/// see the file comment) so the cross-commit trend gate can refuse to
+/// compare sections measured at different workload sizes.
+void writeJson(double Scale, double SweepScale, double ShardScale,
+               size_t SweepJobs, const std::vector<SweepPoint> &Sweep,
+               size_t CacheJobs, const std::vector<CachePoint> &CacheRuns,
                const std::vector<ShardPoint> &ShardRuns,
-               const std::vector<BudgetPoint> &BudgetRuns) {
+               const std::vector<BudgetPoint> &BudgetRuns,
+               size_t LearnJobs, const std::vector<LearnPoint> &LearnRuns) {
   FILE *F = std::fopen("BENCH_engine.json", "w");
   if (!F) {
     std::printf("warning: cannot write BENCH_engine.json\n");
@@ -146,6 +178,11 @@ void writeJson(double Scale, size_t SweepJobs,
   }
   std::fprintf(F, "{\n  \"bench\": \"engine_scaling\",\n");
   std::fprintf(F, "  \"scale\": %g,\n", Scale);
+  std::fprintf(F, "  \"sweep_scale\": %g,\n", SweepScale);
+  std::fprintf(F, "  \"cache_scale\": %g,\n", Scale);
+  std::fprintf(F, "  \"shards_scale\": %g,\n", ShardScale);
+  std::fprintf(F, "  \"budget_scale\": %g,\n", ShardScale);
+  std::fprintf(F, "  \"learning_scale\": %g,\n", Scale);
   std::fprintf(F, "  \"sweep_jobs\": %zu,\n  \"sweep\": [\n", SweepJobs);
   for (size_t I = 0; I != Sweep.size(); ++I) {
     const SweepPoint &P = Sweep[I];
@@ -201,6 +238,24 @@ void writeJson(double Scale, size_t SweepJobs,
                  static_cast<unsigned long long>(P.BudgetSpent), P.Aborted,
                  I + 1 == BudgetRuns.size() ? "" : ",");
   }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"learning_jobs\": %zu,\n  \"learning\": [\n",
+               LearnJobs);
+  for (size_t I = 0; I != LearnRuns.size(); ++I) {
+    const LearnPoint &P = LearnRuns[I];
+    std::fprintf(
+        F,
+        "    {\"mode\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"jobs_per_sec\": %.3f, \"total_queries\": %llu, "
+        "\"imported_constraints\": %llu, \"exported_constraints\": %llu, "
+        "\"seeded_prunes\": %llu, \"succeeded\": %u}%s\n",
+        P.Mode, P.WallSeconds, P.JobsPerSec,
+        static_cast<unsigned long long>(P.TotalQueries),
+        static_cast<unsigned long long>(P.Imported),
+        static_cast<unsigned long long>(P.Exported),
+        static_cast<unsigned long long>(P.SeededPrunes), P.Succeeded,
+        I + 1 == LearnRuns.size() ? "" : ",");
+  }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
   std::printf("wrote BENCH_engine.json\n");
@@ -210,17 +265,22 @@ void writeJson(double Scale, size_t SweepJobs,
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
+  // The parallel-scaling sections run floored (see the file comment):
+  // below these sizes they measure setup overhead, not scaling.
+  double SweepScale = std::max(Scale, 1.0);
+  double ShardScale = std::max(Scale, 1.0);
   banner("engine scaling: batch synthesis, worker-count sweep");
 
-  std::vector<SynthJob> Jobs = buildBatch(Scale);
-  std::printf("batch: %zu long-path diamond jobs\n", Jobs.size());
+  std::vector<SynthJob> Jobs = buildBatch(SweepScale);
+  std::printf("batch: %zu long-path diamond jobs (section scale %g)\n",
+              Jobs.size(), SweepScale);
   unsigned Cores = std::thread::hardware_concurrency();
   if (Cores <= 1)
     std::printf("note: single-core machine; expect a flat speedup curve\n");
 
   unsigned MaxWorkers = std::max(4u, Cores);
   row({"workers", "wall(s)", "speedup", "ok", "queries"},
-      {9, 10, 9, 5, 10});
+      {9, 10, 9, 7, 10});
 
   std::vector<SweepPoint> Sweep;
   double BaseSeconds = 0.0;
@@ -229,8 +289,10 @@ int main(int Argc, char **Argv) {
     EngineOptions EO;
     EO.NumWorkers = Workers;
     // The sweep measures raw scaling; result caching would hide the
-    // repeated work the worker counts are compared on.
+    // repeated work the worker counts are compared on, and learning is
+    // measured by its own section.
     EO.CacheResults = false;
+    EO.SharedLearning = false;
     SynthEngine Engine(EO);
     BatchReport Rep = Engine.run(Jobs);
 
@@ -261,7 +323,7 @@ int main(int Argc, char **Argv) {
          std::to_string(Rep.numSucceeded()) + "/" +
              std::to_string(Rep.Reports.size()),
          std::to_string(Rep.TotalQueries)},
-        {9, 10, 9, 5, 10});
+        {9, 10, 9, 7, 10});
   }
 
   banner("portfolio racing: double diamonds (Fig. 8(h) regime)");
@@ -338,6 +400,9 @@ int main(int Argc, char **Argv) {
     }
     EngineOptions EO;
     EO.CacheResults = std::string(Mode) == "engine";
+    // The duplicate-heavy batch is exactly what cross-job learning also
+    // accelerates; keep it off so the three modes compare caches alone.
+    EO.SharedLearning = false;
     SynthEngine Engine(EO);
     BatchReport Rep = Engine.run(Batch);
 
@@ -377,41 +442,60 @@ int main(int Argc, char **Argv) {
   banner("intra-job shard scaling: prefix-split DFS, 1 engine worker");
   // One worker isolates the new parallelism: any speedup here comes from
   // sharding the DFS inside each job, not from running jobs in parallel.
-  // The workload is exhaustive-search-heavy on purpose: Fig. 8(h)
-  // double diamonds at switch granularity prove Impossible only by
-  // visiting the whole pruned tree, which is exactly the work the
-  // V-claim discipline splits across shards without duplication.
-  // (Feasible instances that succeed on their first branch gain little
-  // from sharding and mostly measure its overhead.)
+  // The workload is a DEEP exhaustive proof: a feasible long-path
+  // diamond whose final configuration blackholes the flow at the
+  // destination switch, with the diff capped at DiffCap switches. The
+  // search must walk the entire safe sub-lattice of the remaining
+  // updates before it can report Impossible — thousands of rechecks
+  // spread across every depth-one unit, which is exactly the shape the
+  // V-claim discipline splits across shards without duplication. (The
+  // previous workload, Fig. 8(h) double diamonds, refutes every root in
+  // a single query — queries == ops+1 — so there was nothing to split
+  // and the section measured pure shard setup: 0.73x at 4 shards.)
+  constexpr unsigned DiffCap = 18;
   std::vector<SynthJob> ShardJobs;
   {
     Rng SR(23);
     DiamondOptions DO;
-    DO.LongPaths = true; // Long branches: a tree worth splitting.
-    unsigned N = std::max(3u, static_cast<unsigned>(3 * Scale));
-    for (unsigned I = 0; ShardJobs.size() < N && I != 4 * N; ++I) {
+    DO.LongPaths = true; // Long branches: a wide safe lattice.
+    unsigned N = std::max(3u, static_cast<unsigned>(3 * ShardScale));
+    for (unsigned I = 0; ShardJobs.size() < N && I != 8 * N; ++I) {
       Rng Fork = SR.fork();
       Topology Base = buildSmallWorld(96, 4, 0.2, Fork);
-      std::optional<Scenario> S = makeDoubleDiamondScenario(Base, Fork, DO);
+      std::optional<Scenario> S =
+          makeDiamondScenario(Base, Fork, PropertyKind::Reachability, DO);
       if (!S)
         continue;
+      // Blackhole the destination in the *final* config: the initial
+      // configuration still verifies, but no update order can reach a
+      // correct end state — Impossible, provable only by exhaustion.
+      SwitchId Dst = S->Flows[0].FinalPath.back();
+      S->Final.setTable(Dst, Table());
+      // Cap the diff so the lattice stays ~2^DiffCap, not 2^|diamond|.
+      std::vector<SwitchId> Diff = diffSwitches(S->Initial, S->Final);
+      unsigned Kept = 0;
+      for (SwitchId Sw : Diff) {
+        if (Sw == Dst)
+          continue;
+        if (++Kept > DiffCap - 1)
+          S->Final.setTable(Sw, S->Initial.table(Sw));
+      }
       SynthJob Job;
-      Job.Name = "ddiamond-exhaust-" + std::to_string(ShardJobs.size());
+      Job.Name = "deep-proof-" + std::to_string(ShardJobs.size());
       Job.S = std::move(*S);
       Job.Portfolio.emplace_back(); // incremental, switch granularity.
-      // Leave the SAT layer out: it proves these instances Impossible
-      // after a handful of counterexamples, which is great for latency
-      // but leaves no tree for the shards to split. V/W pruning stays
-      // on — shards share both — so the exhaustion is still the pruned
-      // tree, just walked to the end.
+      // Leave the SAT layer out: every counterexample here names the
+      // corrupted destination, so its constraints never turn UNSAT and
+      // the solver is pure overhead on the hot path being measured.
+      // V/W pruning stays on — shards share both.
       Job.Portfolio[0].Opts.EarlyTermination = false;
       ShardJobs.push_back(std::move(Job));
     }
   }
-  std::printf("batch: %zu switch-granularity double diamonds "
-              "(exhaustive Impossible proofs)\n",
-              ShardJobs.size());
-  row({"shards", "wall(s)", "speedup", "prf", "queries"}, {9, 10, 9, 5, 10});
+  std::printf("batch: %zu deep exhaustive proofs (diff capped at %u, "
+              "section scale %g)\n",
+              ShardJobs.size(), DiffCap, ShardScale);
+  row({"shards", "wall(s)", "speedup", "prf", "queries"}, {9, 10, 9, 7, 10});
   std::vector<ShardPoint> ShardRuns;
   double ShardBaseSeconds = 0.0;
   std::vector<SynthStatus> ShardBaseVerdicts;
@@ -419,6 +503,7 @@ int main(int Argc, char **Argv) {
     EngineOptions EO;
     EO.NumWorkers = 1;
     EO.CacheResults = false;
+    EO.SharedLearning = false;
     EO.IntraJobShards = Shards;
     SynthEngine Engine(EO);
     BatchReport Rep = Engine.run(ShardJobs);
@@ -452,7 +537,7 @@ int main(int Argc, char **Argv) {
          std::to_string(ShardJobs.size() - Rep.numSucceeded()) + "/" +
              std::to_string(Rep.Reports.size()),
          std::to_string(Rep.TotalQueries)},
-        {9, 10, 9, 5, 10});
+        {9, 10, 9, 7, 10});
   }
 
   banner("deterministic tight budgets: verdict stability + throughput");
@@ -462,11 +547,10 @@ int main(int Argc, char **Argv) {
   // exactly the reproducibility the BudgetLedger exists to provide —
   // and jobs/sec records what the bounded-work mode costs so the
   // BENCH_engine.json trend history can flag a regression.
-  // Two regimes in one batch: the exhaustive double diamonds refute
-  // every depth-one root in a single call, so they complete (Impossible)
-  // even under one-call unit quotas — while the feasible long-path
-  // diamonds dive deep and get truncated mid-unit, yielding
-  // deterministic budget Aborts.
+  // Two regimes in one batch: the deep proofs' units exhaust their tiny
+  // quotas mid-lattice and the feasible long-path diamonds dive past
+  // theirs — both yielding deterministic budget Aborts — while any unit
+  // that completes within quota contributes to a real verdict.
   std::vector<SynthJob> BudgetJobs = ShardJobs;
   for (SynthJob &Job : BudgetJobs)
     Job.Portfolio[0].Opts.MaxCheckCalls = 30;
@@ -481,13 +565,14 @@ int main(int Argc, char **Argv) {
     Job.Portfolio[0].Opts.MaxCheckCalls = 25;
     BudgetJobs.push_back(std::move(Job));
   }
-  row({"shards", "wall(s)", "jobs/s", "abrt", "spent"}, {9, 10, 9, 5, 10});
+  row({"shards", "wall(s)", "jobs/s", "abrt", "spent"}, {9, 10, 9, 7, 10});
   std::vector<BudgetPoint> BudgetRuns;
   std::vector<SynthStatus> BudgetBaseVerdicts;
   for (unsigned Shards : {1u, 2u, 4u}) {
     EngineOptions EO;
     EO.NumWorkers = 1;
     EO.CacheResults = false;
+    EO.SharedLearning = false;
     EO.IntraJobShards = Shards;
     SynthEngine Engine(EO);
     BatchReport Rep = Engine.run(BudgetJobs);
@@ -521,10 +606,127 @@ int main(int Argc, char **Argv) {
          std::to_string(P.Aborted) + "/" +
              std::to_string(Rep.Reports.size()),
          std::to_string(P.BudgetSpent)},
-        {9, 10, 9, 5, 10});
+        {9, 10, 9, 7, 10});
   }
 
-  writeJson(Scale, Jobs.size(), Sweep, CacheJobs.size(), CacheRuns,
-            ShardRuns, BudgetRuns);
+  banner("cross-job learning: repeated probes over one scenario family");
+  // Autotuning-style probe stream: every scenario is probed under
+  // several digest-DISTINCT configurations (backend x SAT-layer), so
+  // the engine result cache cannot serve a single one of them — only
+  // the ConstraintStore connects the probes. With SharedLearning off,
+  // each probe re-derives every counterexample refutation through
+  // checker queries; with it on, later probes of the same scenario seed
+  // their W set and SAT layer from the store and skip them. Verdicts
+  // and sequences must be byte-identical across the two modes (the
+  // learning invariance contract), total queries must strictly drop.
+  std::vector<SynthJob> LearnJobs;
+  {
+    Rng LR(31);
+    unsigned Fam = std::max(3u, static_cast<unsigned>(3 * Scale));
+    unsigned Made = 0;
+    for (unsigned I = 0; Made < Fam && I != 8 * Fam; ++I) {
+      Rng Fork = LR.fork();
+      Topology Base = buildSmallWorld(40, 4, 0.2, Fork);
+      std::optional<Scenario> S = makeDoubleDiamondScenario(Base, Fork);
+      if (!S)
+        continue;
+      ++Made;
+      struct Probe {
+        const char *Backend;
+        bool Et;
+      };
+      for (const Probe &P :
+           {Probe{"incremental", false}, Probe{"incremental", true},
+            Probe{"batch", false}, Probe{"batch", true}}) {
+        SynthJob Job;
+        Job.Name = "probe-" + std::to_string(Made) + "-" + P.Backend +
+                   (P.Et ? "+et" : "-et");
+        Job.S = *S;
+        Job.Portfolio.emplace_back();
+        Job.Portfolio[0].Backend = P.Backend;
+        Job.Portfolio[0].Opts.EarlyTermination = P.Et;
+        LearnJobs.push_back(std::move(Job));
+      }
+    }
+    // A feasible family rides along: reuse must also hold — and help —
+    // where a sequence has to be found.
+    Rng FR(33);
+    unsigned FeasFam = std::max(2u, static_cast<unsigned>(2 * Scale));
+    for (unsigned I = 0; I != FeasFam; ++I) {
+      Rng Fork = FR.fork();
+      std::optional<Scenario> S = makeDiamondScenario(
+          buildFatTree(8), Fork, PropertyKind::Reachability);
+      if (!S)
+        continue;
+      for (const char *Backend : {"incremental", "batch"}) {
+        SynthJob Job;
+        Job.Name = "probe-feas-" + std::to_string(I) + "-" + Backend;
+        Job.S = *S;
+        Job.Portfolio.emplace_back();
+        Job.Portfolio[0].Backend = Backend;
+        LearnJobs.push_back(std::move(Job));
+      }
+    }
+  }
+  std::printf("batch: %zu digest-distinct probes\n", LearnJobs.size());
+
+  std::vector<LearnPoint> LearnRuns;
+  std::vector<std::pair<SynthStatus, std::string>> LearnBase;
+  for (const char *Mode : {"off", "on"}) {
+    EngineOptions EO;
+    EO.NumWorkers = 1; // Sequential probes: deterministic import chains.
+    EO.CacheResults = false;
+    EO.SharedLearning = std::string(Mode) == "on";
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(LearnJobs);
+
+    std::vector<std::pair<SynthStatus, std::string>> Fingerprints;
+    for (size_t I = 0; I != Rep.Reports.size(); ++I)
+      Fingerprints.push_back(
+          {Rep.Reports[I].Result.Status,
+           commandSeqToString(LearnJobs[I].S.Topo,
+                              Rep.Reports[I].Result.Commands)});
+    if (LearnRuns.empty()) {
+      LearnBase = std::move(Fingerprints);
+    } else if (Fingerprints != LearnBase) {
+      std::printf("ERROR: learning mode '%s' changed a verdict or "
+                  "sequence\n",
+                  Mode);
+      return 1;
+    }
+
+    LearnPoint P;
+    P.Mode = Mode;
+    P.WallSeconds = Rep.WallSeconds;
+    P.JobsPerSec =
+        Rep.WallSeconds > 0
+            ? static_cast<double>(LearnJobs.size()) / Rep.WallSeconds
+            : 0.0;
+    P.TotalQueries = Rep.TotalQueries;
+    P.Imported = Rep.Merged.ImportedConstraints;
+    P.Exported = Rep.Merged.ExportedConstraints;
+    P.SeededPrunes = Rep.Merged.SeededPrunes;
+    P.Succeeded = Rep.numSucceeded();
+    LearnRuns.push_back(P);
+  }
+  if (LearnRuns[1].TotalQueries >= LearnRuns[0].TotalQueries) {
+    std::printf("ERROR: learning did not reduce checker queries "
+                "(%llu -> %llu)\n",
+                static_cast<unsigned long long>(LearnRuns[0].TotalQueries),
+                static_cast<unsigned long long>(LearnRuns[1].TotalQueries));
+    return 1;
+  }
+
+  row({"mode", "wall(s)", "jobs/s", "queries", "seeded", "imported"},
+      {9, 10, 9, 9, 9, 9});
+  for (const LearnPoint &P : LearnRuns)
+    row({P.Mode, format("%.3f", P.WallSeconds),
+         format("%.1f", P.JobsPerSec), std::to_string(P.TotalQueries),
+         std::to_string(P.SeededPrunes), std::to_string(P.Imported)},
+        {9, 10, 9, 9, 9, 9});
+
+  writeJson(Scale, SweepScale, ShardScale, Jobs.size(), Sweep,
+            CacheJobs.size(), CacheRuns, ShardRuns, BudgetRuns,
+            LearnJobs.size(), LearnRuns);
   return 0;
 }

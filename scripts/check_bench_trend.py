@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Fail-soft trend gate over BENCH_engine.json.
+
+Compares the current run's bench report against a baseline (normally the
+previous successful CI run's artifact) and emits GitHub warning
+annotations for regressions beyond a threshold:
+
+  - jobs/sec drops  > threshold in any section point (sweep, cache,
+    shards, budget, learning),
+  - cache/memo hit-rate drops > threshold (relative) in the cache
+    section,
+  - total checker-query INCREASES > threshold in the learning "on" mode
+    (fewer queries is the point of the constraint store).
+
+Sections are only compared when both files measured them at the same
+per-section scale (the bench floors its parallel sections and records
+the effective scale precisely so this script never compares different
+workload sizes).
+
+Always exits 0: CI perf numbers are noisy across runners, so the gate
+warns and records, it never blocks. Usage:
+
+  check_bench_trend.py BASELINE.json CURRENT.json [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def warn(msg):
+    # GitHub annotation syntax; plain text everywhere else.
+    print(f"::warning title=bench trend::{msg}")
+
+
+def note(msg):
+    print(f"bench-trend: {msg}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        note(f"cannot read {path}: {e}")
+        return None
+
+
+def section_scale(doc, section):
+    return doc.get(f"{section}_scale", doc.get("scale"))
+
+
+def rel_drop(base, cur):
+    """Relative drop of cur below base; <= 0 means no regression."""
+    if base is None or cur is None or base <= 0:
+        return 0.0
+    return (base - cur) / base
+
+
+def index_by(points, key):
+    return {p.get(key): p for p in points if key in p}
+
+
+def compare_metric(section, label, base_pt, cur_pt, metric, threshold,
+                   lower_is_better=False):
+    base_v = base_pt.get(metric)
+    cur_v = cur_pt.get(metric)
+    if base_v is None or cur_v is None or base_v <= 0:
+        return
+    if lower_is_better:
+        regression = (cur_v - base_v) / base_v  # Increase over baseline.
+        direction = "rose"
+    else:
+        regression = rel_drop(base_v, cur_v)
+        direction = "dropped"
+    if regression > threshold:
+        warn(f"{section}[{label}] {metric} {direction} "
+             f"{regression * 100:.0f}%: {base_v} -> {cur_v}")
+
+
+def compare_section(base, cur, section, key, metrics, threshold):
+    if section_scale(base, section) != section_scale(cur, section):
+        note(f"skipping '{section}': scales differ "
+             f"({section_scale(base, section)} vs "
+             f"{section_scale(cur, section)})")
+        return
+    base_pts = index_by(base.get(section, []), key)
+    cur_pts = index_by(cur.get(section, []), key)
+    for label, cur_pt in cur_pts.items():
+        base_pt = base_pts.get(label)
+        if base_pt is None:
+            continue
+        for metric, lower_is_better in metrics:
+            compare_metric(section, label, base_pt, cur_pt, metric,
+                           threshold, lower_is_better)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base is None:
+        note("no baseline available; nothing to compare (first run?)")
+        return 0
+    if cur is None:
+        warn("current BENCH_engine.json unreadable; bench may have failed")
+        return 0
+
+    t = args.threshold
+    compare_section(base, cur, "sweep", "workers",
+                    [("jobs_per_sec", False)], t)
+    compare_section(base, cur, "cache", "mode",
+                    [("jobs_per_sec", False),
+                     ("engine_cache_hit_rate", False),
+                     ("memo_hit_rate", False)], t)
+    compare_section(base, cur, "shards", "shards",
+                    [("jobs_per_sec", False)], t)
+    compare_section(base, cur, "budget", "shards",
+                    [("jobs_per_sec", False)], t)
+    compare_section(base, cur, "learning", "mode",
+                    [("jobs_per_sec", False),
+                     ("total_queries", True)], t)
+    note("comparison complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

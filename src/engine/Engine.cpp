@@ -43,9 +43,13 @@ std::vector<PortfolioMember> normalizedPortfolio(const SynthJob &Job) {
 /// mislabelled as a race loser. \p DefaultShards fills in
 /// SynthOptions::Shards for members that left it unset (0); an explicit
 /// member value — 1 included — always wins (EngineOptions::IntraJobShards).
-MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
-                        const StopToken &Stop, const StopToken &RaceStop,
-                        unsigned DefaultShards) {
+/// \p Learning (with \p ScenarioDigest, computed once per job) wires the
+/// engine's cross-job constraint store into members that didn't bring
+/// their own.
+MemberOutcome runMember(const Scenario &Shared, const Digest &ScenarioDigest,
+                        const PortfolioMember &M, const StopToken &Stop,
+                        const StopToken &RaceStop, unsigned DefaultShards,
+                        const std::shared_ptr<ConstraintStore> &Learning) {
   MemberOutcome Out;
   Out.Name = memberDisplayName(M);
 
@@ -59,6 +63,10 @@ MemberOutcome runMember(const Scenario &Shared, const PortfolioMember &M,
 
   SynthOptions Opts = M.Opts;
   Opts.Stop = anyToken(Opts.Stop, Stop);
+  if (Learning && !Opts.Learning) {
+    Opts.Learning = Learning;
+    Opts.LearningScenario = ScenarioDigest;
+  }
   if (Opts.Shards == 0 && DefaultShards > 1)
     Opts.Shards = DefaultShards;
   if (Opts.Shards > 1 && !Opts.ShardCheckerFactory) {
@@ -106,6 +114,31 @@ int statusRank(SynthStatus S) {
   return 0;
 }
 
+/// True when \p Rep may be replayed to digest-identical jobs. Completed
+/// verdicts are cacheable unless a timing event (external stop or soft
+/// wall expiry — the Interrupted flag) was observed shaping them. An
+/// Aborted verdict is cacheable only in its deterministic shape: every
+/// member ran and aborted purely by exhausting its check quota
+/// (ExhaustedUnits > 0, no timing event, no engine-level error) — such
+/// verdicts are a pure function of (job, budget) since PR 4, and the
+/// budget is part of the digest. Everything else about an abort — wall
+/// expiry, cancellation, a member that never ran — reflects the run,
+/// not the instance, and must not be replayed.
+bool cacheableReport(const SynthReport &Rep) {
+  if (Rep.Result.Status != SynthStatus::Aborted)
+    return !Rep.Result.Stats.Interrupted;
+  if (Rep.Members.empty())
+    return false; // Never ran (queued-cancel and shutdown paths don't
+                  // reach the store; belt and braces).
+  for (const MemberOutcome &O : Rep.Members) {
+    if (O.Status != SynthStatus::Aborted || !O.Error.empty())
+      return false;
+    if (O.Stats.ExhaustedUnits == 0 || O.Stats.Interrupted)
+      return false;
+  }
+  return true;
+}
+
 } // namespace
 
 std::vector<PortfolioMember> netupd::defaultPortfolio(SynthOptions Base) {
@@ -144,15 +177,17 @@ Digest netupd::digestOf(const SynthJob &Job) {
                    });
     B.addString(Spec);
     // Every option that can change the result; display Name, the Stop
-    // token, and the sharding knobs (Shards, ShardCheckerFactory) are
-    // presentation/control/performance, not semantics — any shard count
+    // token, the sharding knobs (Shards, ShardCheckerFactory), and the
+    // cross-job learning knobs (Learning, LearningScenario — a pure
+    // accelerator, never part of the key) are presentation/control/
+    // performance, not semantics — any shard count or store content
     // yields an interchangeable result for the same job. The check
     // budgets ARE semantic (they deterministically select the explored
     // prefix set, successful sequences included). TimeoutSeconds is
     // not: it is a soft wall hint whose expiry can only produce an
-    // Aborted result, and Aborted results never enter the cache — so
-    // two jobs differing only in timeout are interchangeable whenever
-    // either is cacheable.
+    // Interrupted Aborted result, and timing-shaped results never enter
+    // the cache — so two jobs differing only in timeout are
+    // interchangeable whenever either is cacheable.
     B.addBool(M.Opts.CexPruning);
     B.addBool(M.Opts.EarlyTermination);
     B.addBool(M.Opts.WaitRemoval);
@@ -194,6 +229,9 @@ SynthEngine::SynthEngine(EngineOptions InitOpts) : Opts(std::move(InitOpts)) {
       Workers = 1;
   }
   Cache = Opts.Cache ? Opts.Cache : std::make_shared<ResultCache>();
+  if (Opts.SharedLearning)
+    Learn = Opts.Learning ? Opts.Learning
+                          : std::make_shared<ConstraintStore>();
   Pool.reserve(Workers);
   // Workers spawn lazily in submit(): a 1-job batch costs one thread no
   // matter how wide the machine is.
@@ -290,27 +328,27 @@ void SynthEngine::executeJob(detail::JobState &St) {
   } else if (Opts.CacheResults) {
     Digest Key = digestOf(St.Job);
     if (std::optional<CachedJobResult> Hit = Cache->lookup(Key)) {
-      assert(Hit->Result.Status != SynthStatus::Aborted &&
-             "aborted result found in the cache");
+      assert((Hit->Result.Status != SynthStatus::Aborted ||
+              Hit->Result.Stats.ExhaustedUnits > 0) &&
+             "non-budget aborted result found in the cache");
       Rep.Result = std::move(Hit->Result);
       Rep.Winner = std::move(Hit->Winner);
       Rep.FromCache = true;
       Rep.Seconds = JobClock.seconds();
     } else {
       Rep = runOneJob(St.Job, St.Index, Stop);
-      // The one store site, and the invariant's enforcement point: an
-      // Aborted verdict reflects budgets and cancellation, never the
-      // instance, so it must not be replayed to digest-identical jobs.
-      // Interrupted Successes are excluded too: a cancel or wall expiry
-      // observed mid-race may have abandoned a unit that would outrank
-      // the recorded winner, so the sequence is timing-tainted and must
-      // not be served as the job's canonical answer (a cancel that
-      // raced completion and was never observed leaves the flag clear —
-      // that result is the real, cacheable one). The shutdown and
-      // queued-cancel paths report Aborted without reaching this code
-      // at all.
-      if (Rep.Result.Status != SynthStatus::Aborted &&
-          !Rep.Result.Stats.Interrupted)
+      // The one store site, and the invariant's enforcement point:
+      // cacheableReport() admits completed verdicts and deterministic
+      // budget aborts, and rejects everything timing-shaped.
+      // Interrupted Successes are excluded because a cancel or wall
+      // expiry observed mid-race may have abandoned a unit that would
+      // outrank the recorded winner — the sequence is timing-tainted
+      // and must not be served as the job's canonical answer (a cancel
+      // that raced completion and was never observed leaves the flag
+      // clear — that result is the real, cacheable one). The shutdown
+      // and queued-cancel paths report Aborted without reaching this
+      // code at all.
+      if (cacheableReport(Rep))
         Cache->store(Key, CachedJobResult{Rep.Result, Rep.Winner});
     }
   } else {
@@ -334,10 +372,14 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
 
   std::vector<PortfolioMember> Members = normalizedPortfolio(Job);
 
+  // One scenario digest serves every member's learning key; skip the
+  // walk entirely when learning is off.
+  const Digest ScenDigest = Learn ? digestOf(Job.S) : Digest{};
+
   std::vector<MemberOutcome> Outcomes(Members.size());
   if (Members.size() == 1) {
-    Outcomes[0] = runMember(Job.S, Members[0], Stop, StopToken(),
-                            Opts.IntraJobShards);
+    Outcomes[0] = runMember(Job.S, ScenDigest, Members[0], Stop,
+                            StopToken(), Opts.IntraJobShards, Learn);
   } else {
     // Race: first Success fires the shared source; everyone also honours
     // the external (batch + per-job) token.
@@ -348,8 +390,8 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
     Threads.reserve(Members.size());
     for (size_t I = 0; I != Members.size(); ++I) {
       Threads.emplace_back([&, I] {
-        Outcomes[I] = runMember(Job.S, Members[I], MemberStop, RaceStop,
-                                Opts.IntraJobShards);
+        Outcomes[I] = runMember(Job.S, ScenDigest, Members[I], MemberStop,
+                                RaceStop, Opts.IntraJobShards, Learn);
         if (Outcomes[I].Status == SynthStatus::Success)
           Race.requestStop();
       });

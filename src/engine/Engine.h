@@ -21,19 +21,35 @@
 /// digest-identical job that already completed is served instantly with
 /// the recorded verdict, command sequence, and stats — isomorphic
 /// scenarios recur both within a batch and across batches, and
-/// re-synthesizing them is pure waste. Aborted results are never cached:
-/// cancellation and wall-clock expiry reflect the run, not the instance
-/// (deterministic budget aborts are reproducible and the budget is in
-/// the digest, so caching them would be sound — a recorded follow-on —
-/// but today every Aborted path skips the store; see executeJob, whose
-/// single store site enforces this, and tests/budget_test.cpp, which
-/// audits all three Aborted-writing paths including a cancel racing job
-/// completion). The cache is
+/// re-synthesizing them is pure waste. Timing-shaped results are never
+/// cached: cancellation and wall-clock expiry reflect the run, not the
+/// instance, so any report whose stats carry the Interrupted flag skips
+/// the store. Aborted verdicts are cacheable in exactly one shape — the
+/// deterministic budget abort, where every member ran its quota dry
+/// (ExhaustedUnits > 0) with no timing event observed: since PR 4 such
+/// verdicts are a pure function of (job, budget) and the budget is part
+/// of the digest, so replaying them dedups repeated doomed probes in
+/// autotuning loops. See executeJob, whose single store site enforces
+/// both rules, and tests/budget_test.cpp, which audits every
+/// Aborted-writing path including a cancel racing job completion. The
+/// cache is
 /// sharded and thread-safe (support/ShardedCache.h) and lives as long as
 /// the engine, so warm batches also benefit. Checker-level memoization
 /// ("memo:<backend>" specs, mc/MemoizingChecker.h) is independent and
 /// composes: the engine cache dedups whole jobs, the check cache dedups
 /// individual queries across different jobs.
+///
+/// Cross-job learning: orthogonal to both caches, the engine threads a
+/// ConstraintStore (support/ConstraintStore.h) through every member it
+/// runs. Digest-*different* jobs over digest-identical scenarios — a
+/// portfolio probing the same instance under different backends or
+/// knobs, an autotuning sweep, repeated batches — then share the
+/// counterexample refutations they mine: each member seeds its W set
+/// and SAT layer on start and publishes what it learned on retirement,
+/// so already-refuted prefixes are pruned without checker queries. The
+/// store is a pure accelerator (verdicts and sequences are byte-
+/// identical with it on or off; deterministic budget runs never import)
+/// and is therefore excluded from digestOf(SynthJob).
 ///
 /// Isolation: every job owns its Scenario by value and every portfolio
 /// member clones it again before building its private KripkeStructure
@@ -119,6 +135,17 @@ struct EngineOptions {
   /// lives as long as the engine. Pass a shared instance to pool results
   /// across engines.
   std::shared_ptr<ResultCache> Cache;
+  /// Cross-job constraint learning (see the file comment): members seed
+  /// their searches from, and publish their learned refutations to, the
+  /// engine's ConstraintStore. Safe to leave on — verdicts and command
+  /// sequences are unchanged by construction; SynthStats reports the
+  /// traffic (ImportedConstraints / ExportedConstraints / SeededPrunes).
+  bool SharedLearning = true;
+  /// The store to use when SharedLearning is on; null means the engine
+  /// creates a private one that lives as long as the engine. Pass
+  /// ConstraintStore::processStore() (or any shared instance) to pool
+  /// learning across engines.
+  std::shared_ptr<ConstraintStore> Learning;
 };
 
 namespace detail {
@@ -191,6 +218,12 @@ public:
   /// The engine's result cache (for stats, sharing, or clearing).
   const std::shared_ptr<ResultCache> &resultCache() const { return Cache; }
 
+  /// The engine's cross-job constraint store; null when SharedLearning
+  /// is off.
+  const std::shared_ptr<ConstraintStore> &constraintStore() const {
+    return Learn;
+  }
+
 private:
   void workerLoop();
   void executeJob(detail::JobState &St);
@@ -200,6 +233,7 @@ private:
   EngineOptions Opts;
   unsigned Workers;
   std::shared_ptr<ResultCache> Cache;
+  std::shared_ptr<ConstraintStore> Learn;
 
   std::mutex QueueMutex;
   std::condition_variable QueueCV;

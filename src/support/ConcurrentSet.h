@@ -112,6 +112,14 @@ public:
     return Items.size();
   }
 
+  /// A copy of the current contents; the cross-job learning export uses
+  /// it after every appender has joined, but a mid-flight snapshot is
+  /// safe too (it sees some monotone prefix of the appends).
+  std::vector<T> snapshot() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return Items;
+  }
+
 private:
   mutable std::shared_mutex M;
   std::vector<T> Items;

@@ -84,16 +84,29 @@ public:
     Shard &S = shardFor(Key);
     std::lock_guard<std::mutex> Lock(S.M);
     // Insert first (one probe serves both the duplicate check and the
-    // insertion); the new key is not in the ring yet, so an eviction
-    // sweep cannot displace it.
+    // insertion).
     if (!S.Map.emplace(Key, Entry{std::move(Value), true}).second)
       return;
-    if (S.Map.size() > ShardCap) {
-      size_t Slot = evictOne(S);
-      S.Ring[Slot] = Key;
-    } else {
-      S.Ring.push_back(Key);
-    }
+    admitNewKey(S, Key);
+  }
+
+  /// Creates-or-mutates the value for \p Key in place: \p F receives a
+  /// reference to the value (default-constructed when the key is new)
+  /// and runs under the shard lock, so it must be short and must not
+  /// touch the cache reentrantly. New keys follow the same
+  /// second-chance bookkeeping as store(); existing keys are marked
+  /// referenced. Requires V to be default-constructible. The
+  /// read-modify-write clients (the cross-job ConstraintStore) use this
+  /// where store()'s first-wins semantics would discard later
+  /// contributions.
+  template <typename Fn> void update(const Digest &Key, Fn &&F) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto [It, Inserted] = S.Map.try_emplace(Key);
+    It->second.Referenced = true;
+    F(It->second.Value);
+    if (Inserted)
+      admitNewKey(S, Key);
   }
 
   CacheStats stats() const {
@@ -138,6 +151,18 @@ private:
   };
   Shard &shardFor(const Digest &Key) {
     return Shards[DigestHash()(Key) % NumShards];
+  }
+
+  /// Ring/eviction bookkeeping for a key just inserted into \p S's map
+  /// (shared by store() and update()). The new key is not in the ring
+  /// yet, so the sweep cannot displace it.
+  void admitNewKey(Shard &S, const Digest &Key) {
+    if (S.Map.size() > ShardCap) {
+      size_t Slot = evictOne(S);
+      S.Ring[Slot] = Key;
+    } else {
+      S.Ring.push_back(Key);
+    }
   }
 
   /// Second-chance sweep: clears referenced bits until an unreferenced

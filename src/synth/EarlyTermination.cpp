@@ -89,6 +89,18 @@ void EarlyTermination::addCexConstraint(
   Dirty = true;
 }
 
+void EarlyTermination::addMaskValueConstraint(const Bitset &Mask,
+                                              const Bitset &Value) {
+  std::vector<unsigned> Updated, NotUpdated;
+  for (size_t I = 0, E = Mask.size(); I != E; ++I) {
+    if (!Mask.test(I))
+      continue;
+    (Value.test(I) ? Updated : NotUpdated).push_back(
+        static_cast<unsigned>(I));
+  }
+  addCexConstraint(Updated, NotUpdated);
+}
+
 bool EarlyTermination::impossible() {
   std::lock_guard<std::mutex> Lock(M);
   if (KnownImpossible)

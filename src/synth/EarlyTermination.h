@@ -38,6 +38,7 @@
 
 #include "engine/StopToken.h"
 #include "sat/Solver.h"
+#include "support/Bitset.h"
 
 #include <map>
 #include <mutex>
@@ -68,6 +69,15 @@ public:
   /// order can exist.
   void addCexConstraint(const std::vector<unsigned> &Updated,
                         const std::vector<unsigned> &NotUpdated);
+
+  /// Records the ordering constraint encoded by one wrong-set entry in
+  /// its (mask, value) form — the form the search's learnCex derives
+  /// and the cross-job ConstraintStore persists: some masked-but-not-
+  /// updated operation must precede some updated one. Converts and
+  /// forwards to addCexConstraint, so imported and freshly-learned
+  /// constraints take the identical path (size caps and the stop token
+  /// included).
+  void addMaskValueConstraint(const Bitset &Mask, const Bitset &Value);
 
   /// True when the accumulated constraints admit no total order; runs the
   /// incremental SAT solver. When the stop token has fired the solve is

@@ -99,6 +99,21 @@ std::vector<Rule> classSlice(const Table &T, const Header &Hdr) {
   return Out;
 }
 
+/// True if configuration \p Bits agrees with wrong-set entry \p E on
+/// every masked operation — the one matching rule behind the W set, the
+/// unit-local W set, and the imported seed list.
+bool entryMatches(const std::pair<Bitset, Bitset> &E, const Bitset &Bits) {
+  return (Bits & E.first) == E.second;
+}
+
+bool matchesAny(const std::vector<std::pair<Bitset, Bitset>> &Entries,
+                const Bitset &Bits) {
+  for (const std::pair<Bitset, Bitset> &E : Entries)
+    if (entryMatches(E, Bits))
+      return true;
+  return false;
+}
+
 /// The table resulting from firing one op on \p Current: the whole final
 /// table (switch granularity), or Current with one class's slice replaced
 /// by the final slice (rule granularity).
@@ -171,22 +186,32 @@ struct SearchContext {
     return Sharded ? ParVisited.insert(B) : SeqVisited.insert(B).second;
   }
   bool matchesWrong(const Bitset &Bits) const {
-    auto Match = [&](const std::pair<Bitset, Bitset> &Entry) {
-      return (Bits & Entry.first) == Entry.second;
-    };
-    if (!Sharded) {
-      for (const std::pair<Bitset, Bitset> &Entry : SeqWrong)
-        if (Match(Entry))
-          return true;
-      return false;
-    }
-    return ParWrong.any(Match);
+    if (!Sharded)
+      return matchesAny(SeqWrong, Bits);
+    return ParWrong.any([&](const std::pair<Bitset, Bitset> &Entry) {
+      return entryMatches(Entry, Bits);
+    });
   }
   void addWrong(std::pair<Bitset, Bitset> Entry) {
     if (Sharded)
       ParWrong.append(std::move(Entry));
     else
       SeqWrong.push_back(std::move(Entry));
+  }
+
+  /// Wrong-set entries imported from the cross-job ConstraintStore:
+  /// fixed before any searcher runs and immutable afterwards, so every
+  /// shard scans it without synchronization (and a single-shard run
+  /// pays no locking for it either). Always empty in deterministic
+  /// budget mode, which never imports (see runSearch).
+  std::vector<std::pair<Bitset, Bitset>> SeedWrong;
+  /// True when this run publishes its learned entries on retirement;
+  /// budget-mode searchers then keep their unit-local entries for the
+  /// export instead of dropping them with the unit.
+  bool ExportLearning = false;
+
+  bool matchesSeed(const Bitset &Bits) const {
+    return matchesAny(SeedWrong, Bits);
   }
 
   EarlyTermination ET; // Internally synchronized; non-budget mode only.
@@ -385,6 +410,10 @@ public:
   }
 
   SynthStats Stats;
+  /// Unit-local wrong-set entries collected for the cross-job export
+  /// (deterministic budget mode only — elsewhere entries live in the
+  /// context's shared containers). Harvested after the shard retires.
+  std::vector<std::pair<Bitset, Bitset>> LearnedWrong;
 
 private:
   /// Resets the unit-scoped state before exploring unit \p Unit. In
@@ -418,6 +447,13 @@ private:
       Stats.SatClauses += UnitET->numClauses();
     if (UnitTruncated)
       Ctx.ExhaustedUnits.fetch_add(1, std::memory_order_relaxed);
+    // Unit-local entries are still instance facts; keep them for the
+    // cross-job export instead of dropping them with the unit. (Budget
+    // mode never *imports*, but what a budgeted probe learned is gold
+    // for the unbudgeted runs that follow it.)
+    if (Ctx.ExportLearning)
+      LearnedWrong.insert(LearnedWrong.end(), UnitWrong.begin(),
+                          UnitWrong.end());
     Checker.setBudget(nullptr);
   }
 
@@ -478,6 +514,15 @@ private:
     } else {
       if (Ctx.visitedContains(Next)) {
         ++Stats.VisitedPrunes;
+        return false;
+      }
+      // Imported (cross-job) refutations first: each seeded prune skips
+      // a check an earlier digest-identical run already paid for. The
+      // entry is sound — the configuration would have failed its check —
+      // so, exactly like a run-local W prune, skipping it changes
+      // neither the verdict nor which sequences can complete.
+      if (!Ctx.SeedWrong.empty() && Ctx.matchesSeed(Next)) {
+        ++Stats.SeededPrunes;
         return false;
       }
       if (Ctx.Opts.CexPruning && Ctx.matchesWrong(Next)) {
@@ -605,24 +650,12 @@ private:
 
     if (!Ctx.Opts.EarlyTermination)
       return;
-    std::vector<unsigned> Updated, NotUpdated;
-    for (unsigned I = 0; I != Ctx.Ops.size(); ++I) {
-      if (!Mask.test(I))
-        continue;
-      if (Value.test(I))
-        Updated.push_back(I);
-      else
-        NotUpdated.push_back(I);
-    }
     (Ctx.Deterministic ? *UnitET : Ctx.ET)
-        .addCexConstraint(Updated, NotUpdated);
+        .addMaskValueConstraint(Mask, Value);
   }
 
   bool matchesUnitWrong(const Bitset &Bits) const {
-    for (const std::pair<Bitset, Bitset> &Entry : UnitWrong)
-      if ((Bits & Entry.first) == Entry.second)
-        return true;
-    return false;
+    return matchesAny(UnitWrong, Bits);
   }
 
   /// A stop observed at a checkpoint ends this shard; classify why. A
@@ -712,6 +745,32 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
         BudgetLedger::carveTotal(Opts.MaxCheckCalls, Ctx.OpOrder.size());
   Ctx.Deterministic = Ctx.Ledger.limited();
 
+  // Cross-job learning (support/ConstraintStore.h): import the wrong-set
+  // entries earlier runs of this (scenario, granularity) published and
+  // seed the pruning state before anything searches. Requires CexPruning
+  // — the machinery that produces and consumes the entries. Gated off in
+  // deterministic budget mode, whose outcome must stay a pure function
+  // of (job, budget): an import would let process history decide which
+  // checks a quota affords. Sound everywhere it engages: every entry
+  // records a genuine counterexample, so a seeded prune skips a check
+  // that could only have failed, and a seeded SAT constraint is
+  // satisfied by every genuinely correct order.
+  const bool LearnOn = Opts.Learning != nullptr &&
+                       Opts.LearningScenario != Digest{} &&
+                       Opts.CexPruning && !Ctx.Ops.empty();
+  Digest LearnKey;
+  if (LearnOn) {
+    LearnKey = ConstraintStore::keyFor(Opts.LearningScenario,
+                                       Opts.RuleGranularity);
+    Ctx.ExportLearning = true;
+    if (!Ctx.Deterministic) {
+      Ctx.SeedWrong = Opts.Learning->fetch(LearnKey, Ctx.Ops.size());
+      if (Opts.EarlyTermination)
+        for (const std::pair<Bitset, Bitset> &E : Ctx.SeedWrong)
+          Ctx.ET.addMaskValueConstraint(E.first, E.second);
+    }
+  }
+
   // Decide the mode before anything searches: Sharded selects the
   // concurrent pruning containers, so it must be constant from the
   // first probe on.
@@ -731,11 +790,33 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   // SynthSeconds never includes command building or wait removal —
   // WaitRemovalSeconds measures the latter separately.
   double SearchSeconds = 0.0;
+  // Budget-mode learning export: extra shards move their unit-local
+  // entries here before their threads join (elsewhere the shared W
+  // containers already hold everything).
+  std::vector<std::vector<std::pair<Bitset, Bitset>>> ShardLearned;
   auto Finish = [&](SynthStatus Status) {
     Total.mergeFrom(Primary.Stats);
     // Unit-local solvers folded their clause counts into shard stats
     // already (deterministic mode); the shared solver adds the rest.
     Total.SatClauses += Ctx.ET.numClauses();
+    if (LearnOn) {
+      // Publish what this run learned — every entry passed the learn-
+      // time guard, and entries from interrupted or aborted runs are
+      // just as sound (each stands on its own counterexample).
+      std::vector<std::pair<Bitset, Bitset>> Learned;
+      if (Ctx.Deterministic) {
+        Learned = std::move(Primary.LearnedWrong);
+        for (std::vector<std::pair<Bitset, Bitset>> &L : ShardLearned)
+          Learned.insert(Learned.end(), L.begin(), L.end());
+      } else if (Ctx.Sharded) {
+        Learned = Ctx.ParWrong.snapshot();
+      } else {
+        Learned = std::move(Ctx.SeqWrong);
+      }
+      Total.ImportedConstraints = Ctx.SeedWrong.size();
+      Total.ExportedConstraints =
+          Opts.Learning->publish(LearnKey, Ctx.Ops.size(), Learned);
+    }
     Total.EarlyTerminated |= Ctx.EtImpossible.load();
     Total.ExhaustedUnits = Ctx.ExhaustedUnits.load();
     Total.HitBudget = Ctx.WallAbort.load() || Total.ExhaustedUnits > 0;
@@ -766,6 +847,17 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
     Finish(SynthStatus::Success);
     return Result;
   }
+  if (!Ctx.SeedWrong.empty() && Opts.EarlyTermination &&
+      Ctx.ET.impossible()) {
+    // The imported constraints alone are contradictory: no simple order
+    // exists, proven before a single work unit ran. A reuse-off search
+    // reaches the same verdict (by its own SAT proof or by exhaustion)
+    // — the store only made it instant.
+    Ctx.EtImpossible.store(true, std::memory_order_relaxed);
+    SearchSeconds = Ctx.Clock.seconds();
+    Finish(SynthStatus::Impossible);
+    return Result;
+  }
 
   if (Shards <= 1) {
     Primary.runUnits();
@@ -774,6 +866,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
     // engine's job pool, whose workers may all be blocked inside jobs
     // waiting for exactly these threads (see engine/Engine.h).
     std::vector<SynthStats> ShardStats(Shards - 1);
+    ShardLearned.resize(Shards - 1);
     std::vector<std::thread> Threads;
     Threads.reserve(Shards - 1);
     for (unsigned T = 0; T != Shards - 1; ++T) {
@@ -796,6 +889,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
         Shard.Stats.CacheHits += ShardChecker->cacheHits();
         Shard.Stats.CacheMisses += ShardChecker->cacheMisses();
         ShardStats[T] = std::move(Shard.Stats);
+        ShardLearned[T] = std::move(Shard.LearnedWrong);
       });
     }
     Primary.runUnits();
@@ -853,6 +947,15 @@ SynthResult netupd::synthesizeUpdate(const Topology &Topo,
 SynthResult netupd::synthesizeUpdate(const Scenario &S, FormulaFactory &FF,
                                      CheckerBackend &Checker,
                                      const SynthOptions &Opts) {
+  if (Opts.Learning && Opts.LearningScenario == Digest{}) {
+    // Cross-job learning keys on the scenario's content digest; compute
+    // it here so engine members and direct callers need only hand over
+    // the store.
+    SynthOptions Keyed = Opts;
+    Keyed.LearningScenario = digestOf(S);
+    return synthesizeUpdate(S.Topo, S.Initial, S.Final, S.classes(),
+                            S.buildProperty(FF), Checker, Keyed);
+  }
   return synthesizeUpdate(S.Topo, S.Initial, S.Final, S.classes(),
                           S.buildProperty(FF), Checker, Opts);
 }

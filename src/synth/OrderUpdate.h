@@ -48,8 +48,17 @@
 /// included. TimeoutSeconds is only a soft wall-clock hint that fires
 /// between work units, never inside one; it is the single remaining
 /// source of timing dependence and is excluded from job digests
-/// (timeout-influenced runs are Aborted, and Aborted results are never
-/// cached).
+/// (timeout-influenced runs are flagged Interrupted and never cached —
+/// unlike pure quota-exhaustion Aborts, which are deterministic and are
+/// replayed by the engine's result cache).
+///
+/// Cross-job learning: with SynthOptions::Learning set, the search seeds
+/// its W set and SAT layer from the ConstraintStore before exploring and
+/// publishes what it learned when it retires, so digest-identical
+/// scenarios skip already-refuted prefixes without checker queries. The
+/// seeding is verdict- and sequence-invariant (every imported entry is a
+/// sound refutation; see docs/ARCHITECTURE.md) and never engages in
+/// deterministic budget mode.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +67,7 @@
 
 #include "engine/StopToken.h"
 #include "mc/CheckerBackend.h"
+#include "support/ConstraintStore.h"
 #include "synth/Command.h"
 #include "topo/Scenario.h"
 
@@ -96,9 +106,9 @@ struct SynthOptions {
   /// timeout. Checked only *between* work units — a unit that starts
   /// always completes (or exhausts its quota), so pair a timeout with a
   /// check budget to bound unit length. Because expiry can only turn a
-  /// run into Aborted (never alter a completed verdict) and Aborted
-  /// results are never cached, this knob is excluded from
-  /// digestOf(SynthJob).
+  /// run into Aborted (never alter a completed verdict) and leaves the
+  /// Interrupted flag set — which keeps the result out of the engine's
+  /// cache — this knob is excluded from digestOf(SynthJob).
   double TimeoutSeconds = 0.0;
   /// Cooperative-cancellation token, polled at the same checkpoints as
   /// the abort knobs. The engine's portfolio mode fires it to cancel
@@ -121,6 +131,24 @@ struct SynthOptions {
   /// state their backend needs. Must be callable concurrently and must
   /// outlive the synthesizeUpdate call.
   std::function<std::unique_ptr<CheckerBackend>()> ShardCheckerFactory;
+  /// Cross-job learning store (null = off; see support/ConstraintStore.h).
+  /// On start the search imports the wrong-set entries earlier runs of
+  /// this (LearningScenario, RuleGranularity) published — pre-populating
+  /// W and seeding the SAT layer so already-refuted prefixes are pruned
+  /// without checker queries — and on retirement it publishes what it
+  /// learned. A pure accelerator: verdicts and returned sequences are
+  /// unchanged by any store content, so (like Shards) it is excluded
+  /// from digestOf(SynthJob). Deterministic budget mode never imports —
+  /// its outcome must stay a pure function of (job, budget), never of
+  /// process history — but budgeted runs still export. Requires
+  /// CexPruning (the machinery that both produces and consumes the
+  /// entries).
+  std::shared_ptr<ConstraintStore> Learning;
+  /// digestOf() of the scenario being synthesized; learning engages only
+  /// when this is set (non-zero) alongside Learning. The Scenario-taking
+  /// synthesizeUpdate overload fills it in automatically; direct
+  /// topology-level callers supply it themselves or leave learning off.
+  Digest LearningScenario;
 };
 
 /// Search statistics reported alongside a result.
@@ -149,6 +177,15 @@ struct SynthStats {
   uint64_t BudgetSpent = 0;
   uint64_t BudgetRemaining = 0;
   uint64_t ExhaustedUnits = 0;
+  /// Cross-job learning accounting (all zero when SynthOptions::Learning
+  /// is unset): wrong-set entries imported from the ConstraintStore at
+  /// search start, entries newly admitted to the store when the run
+  /// retired (duplicates of already-published entries don't count), and
+  /// DFS prunes served by an *imported* entry — each one a checker query
+  /// an earlier digest-identical run paid for.
+  uint64_t ImportedConstraints = 0;
+  uint64_t ExportedConstraints = 0;
+  uint64_t SeededPrunes = 0;
   /// True iff a budget condition shaped the run: a unit exhausted its
   /// quota or the soft wall hint expired. Never set by a race loss or
   /// an external cancellation (see MemberOutcome::Cancelled for the
@@ -180,6 +217,9 @@ struct SynthStats {
     BudgetSpent += S.BudgetSpent;
     BudgetRemaining += S.BudgetRemaining;
     ExhaustedUnits += S.ExhaustedUnits;
+    ImportedConstraints += S.ImportedConstraints;
+    ExportedConstraints += S.ExportedConstraints;
+    SeededPrunes += S.SeededPrunes;
     HitBudget |= S.HitBudget;
     Interrupted |= S.Interrupted;
     WaitsBeforeRemoval += S.WaitsBeforeRemoval;
@@ -201,8 +241,10 @@ enum class SynthStatus {
   InitialViolation,
   /// Gave up: a work unit exhausted its deterministic check quota
   /// (MaxCheckCalls / UnitCheckCalls), the soft TimeoutSeconds hint
-  /// expired between units, or an external stop token fired. Budget
-  /// aborts are reproducible (see the file comment); never cached.
+  /// expired between units, or an external stop token fired. Pure
+  /// quota-exhaustion aborts are reproducible (see the file comment)
+  /// and the engine caches them; timing-shaped aborts (stop or wall
+  /// observed — the Interrupted flag) are never cached.
   Aborted
 };
 

@@ -12,8 +12,10 @@
 /// verdicts and sequences across shard and worker counts, budget-Aborted
 /// cases included), the soft wall-clock hint, the update-independent
 /// counterexample guard, the Found-vs-budget abort classification, and
-/// the engine's "Aborted results are never cached" invariant across all
-/// of its Aborted-writing paths.
+/// the engine's abort-caching contract across all of its Aborted-writing
+/// paths: pure quota-exhaustion aborts are deterministic and ARE cached,
+/// while every timing-shaped abort (wall expiry, cancellation, shutdown)
+/// stays out of the cache.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -561,9 +563,12 @@ TEST(AbortClassificationTest, LateStopDoesNotDiscardCompletedProof) {
   EXPECT_FALSE(Res.Stats.Interrupted);
 }
 
-// --- "Aborted results are never cached", across every Aborted path ----------
+// --- The abort-caching contract, across every Aborted path ------------------
 
-TEST(AbortedCacheTest, BudgetAbortedJobsAreNeverCached) {
+// A pure quota-exhaustion abort is a pure function of (job, budget) —
+// the budget is in the digest — so the engine caches and replays it:
+// repeated doomed probes in an autotuning loop cost one real run.
+TEST(AbortedCacheTest, QuotaExhaustionAbortsAreCachedAndReplayed) {
   SynthJob Job;
   Job.Name = "tight";
   Job.S = diamondWithUpdates(6000, 3);
@@ -577,13 +582,60 @@ TEST(AbortedCacheTest, BudgetAbortedJobsAreNeverCached) {
   BatchReport First = Engine.run({Job});
   ASSERT_EQ(First.Reports[0].Result.Status, SynthStatus::Aborted);
   EXPECT_TRUE(First.Reports[0].Result.Stats.HitBudget);
+  ASSERT_GT(First.Reports[0].Result.Stats.ExhaustedUnits, 0u);
+  EXPECT_FALSE(First.Reports[0].Result.Stats.Interrupted);
 
-  // The digest-identical resubmission must execute again, not replay an
-  // Aborted entry.
+  // The digest-identical resubmission replays the deterministic abort
+  // — verdict and accounting included — without running anything.
+  BatchReport Second = Engine.run({Job});
+  EXPECT_EQ(Second.EngineCacheHits, 1u);
+  EXPECT_TRUE(Second.Reports[0].FromCache);
+  EXPECT_EQ(Second.Reports[0].Result.Status, SynthStatus::Aborted);
+  EXPECT_EQ(Second.Reports[0].Result.Stats.ExhaustedUnits,
+            First.Reports[0].Result.Stats.ExhaustedUnits);
+  EXPECT_EQ(Second.Reports[0].Result.Stats.BudgetSpent,
+            First.Reports[0].Result.Stats.BudgetSpent);
+  EXPECT_EQ(Second.TotalQueries, 0u);
+
+  // A budget one notch different is a different digest: it must run.
+  SynthJob Widened = Job;
+  Widened.Portfolio[0].Opts.UnitCheckCalls = 2;
+  BatchReport Third = Engine.run({Widened});
+  EXPECT_FALSE(Third.Reports[0].FromCache)
+      << "a different budget must never replay another budget's abort";
+}
+
+// Timing-shaped aborts stay out of the cache: a soft-wall expiry
+// reflects the run's clock, not the instance, and is flagged
+// Interrupted — a digest-identical resubmission must execute again.
+// (TimeoutSeconds is excluded from the digest precisely because its
+// results are never cached.)
+TEST(AbortedCacheTest, WallExpiryAbortsAreNeverCached) {
+  SynthJob Job;
+  Job.Name = "walled";
+  Job.S = diamondWithUpdates(6100, 3);
+  Job.Portfolio.emplace_back();
+  Job.Portfolio[0].Opts.TimeoutSeconds = 1e-9; // Expired at first poll.
+
+  EngineOptions EO;
+  EO.NumWorkers = 1;
+  SynthEngine Engine(EO);
+
+  BatchReport First = Engine.run({Job});
+  ASSERT_EQ(First.Reports[0].Result.Status, SynthStatus::Aborted);
+  EXPECT_TRUE(First.Reports[0].Result.Stats.Interrupted);
+
   BatchReport Second = Engine.run({Job});
   EXPECT_EQ(Second.EngineCacheHits, 0u);
   EXPECT_FALSE(Second.Reports[0].FromCache);
-  EXPECT_EQ(Second.Reports[0].Result.Status, SynthStatus::Aborted);
+
+  // And the wall expiry must not poison the *budgetless* digest the job
+  // shares with a timeout-free twin: that twin runs for real too.
+  SynthJob Untimed = Job;
+  Untimed.Portfolio[0].Opts.TimeoutSeconds = 0.0;
+  BatchReport Clean = Engine.run({Untimed});
+  EXPECT_FALSE(Clean.Reports[0].FromCache);
+  EXPECT_EQ(Clean.Reports[0].Result.Status, SynthStatus::Success);
 }
 
 namespace {
