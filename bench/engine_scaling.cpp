@@ -35,11 +35,32 @@
 /// recorded in BENCH_engine.json so trend comparisons only ever compare
 /// like with like.
 ///
+/// Observability (src/obs/) is measured two ways. Every timed section
+/// runs with the per-call metrics tier and tracing OFF, so the numbers
+/// stay comparable with the pre-obs trend history; the per-job tier is
+/// always on and is part of what the trend tracks. On top of that:
+///
+///  - each major section gets one extra *profiled* pass (detail tier
+///    on, same workload, verdicts asserted unchanged) whose merged
+///    SynthStats yield a phase breakdown — checking vs mutate/rollback
+///    vs pruning vs SAT, in summed thread-seconds — written to the
+///    "phases" array;
+///  - an "obs" section runs the 1-shard deep-proof workload in three
+///    modes (off / metrics / trace) back to back, reporting the
+///    overhead of each tier on jobs/sec and asserting that verdicts
+///    and query counts are identical across modes (the observability
+///    contract); the trace-mode run's spans are exported to
+///    BENCH_trace.json, loadable in ui.perfetto.dev.
+///
+/// Sections also report exact p50/p95/p99 per-job latencies computed
+/// from the per-report wall clocks (not the 2x-bucketed histograms).
+///
 /// Everything measured is also written to BENCH_engine.json (jobs/sec,
-/// TotalQueries, cache hit rates, shard speedups, learning savings) so
-/// the perf trajectory is tracked machine-readably from PR 2 onward; CI
-/// archives the file per run and fail-soft-compares it against the
-/// previous run (scripts/check_bench_trend.py).
+/// TotalQueries, cache hit rates, shard speedups, learning savings,
+/// phase breakdowns, job-latency percentiles) so the perf trajectory is
+/// tracked machine-readably from PR 2 onward; CI archives the file per
+/// run and fail-soft-compares it against the previous run
+/// (scripts/check_bench_trend.py).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +68,8 @@
 
 #include "engine/Engine.h"
 #include "mc/MemoizingChecker.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "topo/Generators.h"
 
 #include <algorithm>
@@ -102,6 +125,30 @@ std::vector<SynthJob> buildBatch(double Scale) {
   return Jobs;
 }
 
+/// Exact per-job latency percentiles over a batch, in milliseconds.
+/// Computed from every report's wall clock (nearest-rank on the sorted
+/// sample), not from the 2x-accurate obs::Histogram buckets — the JSON
+/// trend wants exact numbers where they are cheap to have.
+struct JobPercentiles {
+  double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0;
+};
+
+JobPercentiles jobPercentiles(const BatchReport &Rep) {
+  std::vector<double> S;
+  S.reserve(Rep.Reports.size());
+  for (const SynthReport &R : Rep.Reports)
+    S.push_back(R.Seconds);
+  if (S.empty())
+    return {};
+  std::sort(S.begin(), S.end());
+  auto At = [&](double P) {
+    size_t I = std::min(S.size() - 1,
+                        static_cast<size_t>(P * static_cast<double>(S.size())));
+    return S[I] * 1e3;
+  };
+  return {At(0.50), At(0.95), At(0.99)};
+}
+
 /// One worker-count measurement for the JSON report.
 struct SweepPoint {
   unsigned Workers = 0;
@@ -110,6 +157,7 @@ struct SweepPoint {
   double Speedup = 1.0;
   uint64_t TotalQueries = 0;
   unsigned Succeeded = 0;
+  JobPercentiles Pct;
 };
 
 /// One intra-job shard-count measurement for the JSON report.
@@ -120,6 +168,7 @@ struct ShardPoint {
   double Speedup = 1.0;
   uint64_t TotalQueries = 0;
   unsigned Succeeded = 0;
+  JobPercentiles Pct;
 };
 
 /// One tight-budget measurement for the JSON report.
@@ -130,6 +179,28 @@ struct BudgetPoint {
   uint64_t TotalQueries = 0;
   uint64_t BudgetSpent = 0;
   unsigned Aborted = 0;
+  JobPercentiles Pct;
+};
+
+/// One profiled (detail-tier-on) pass: the phase breakdown of a section
+/// workload in summed thread-seconds, from the merged winning-member
+/// SynthStats. Param is the section's knob (workers or shards).
+struct PhasePoint {
+  const char *Section = "";
+  unsigned Param = 0;
+  double WallSeconds = 0.0;
+  double CheckS = 0.0, MutateS = 0.0, PruneS = 0.0, SatS = 0.0;
+};
+
+/// One observability-mode measurement: the deep-proof workload with the
+/// obs tiers off, with per-call metrics on, and with tracing on top.
+struct ObsPoint {
+  const char *Mode = "";
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  /// Slowdown of this mode's jobs/sec relative to the "off" mode, in
+  /// percent (0 for "off" itself; negative = noise made it faster).
+  double OverheadPct = 0.0;
 };
 
 /// One learning-mode measurement for the JSON report.
@@ -170,7 +241,9 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
                size_t CacheJobs, const std::vector<CachePoint> &CacheRuns,
                const std::vector<ShardPoint> &ShardRuns,
                const std::vector<BudgetPoint> &BudgetRuns,
-               size_t LearnJobs, const std::vector<LearnPoint> &LearnRuns) {
+               size_t LearnJobs, const std::vector<LearnPoint> &LearnRuns,
+               const std::vector<PhasePoint> &Phases,
+               const std::vector<ObsPoint> &ObsRuns) {
   FILE *F = std::fopen("BENCH_engine.json", "w");
   if (!F) {
     std::printf("warning: cannot write BENCH_engine.json\n");
@@ -182,6 +255,11 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
   std::fprintf(F, "  \"cache_scale\": %g,\n", Scale);
   std::fprintf(F, "  \"shards_scale\": %g,\n", ShardScale);
   std::fprintf(F, "  \"budget_scale\": %g,\n", ShardScale);
+  // The profiled passes and obs modes rerun floored-section workloads;
+  // SweepScale == ShardScale (both floored the same way), so one scale
+  // names them all.
+  std::fprintf(F, "  \"phases_scale\": %g,\n", ShardScale);
+  std::fprintf(F, "  \"obs_scale\": %g,\n", ShardScale);
   std::fprintf(F, "  \"learning_scale\": %g,\n", Scale);
   std::fprintf(F, "  \"sweep_jobs\": %zu,\n  \"sweep\": [\n", SweepJobs);
   for (size_t I = 0; I != Sweep.size(); ++I) {
@@ -189,10 +267,12 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
     std::fprintf(F,
                  "    {\"workers\": %u, \"wall_seconds\": %.6f, "
                  "\"jobs_per_sec\": %.3f, \"speedup\": %.3f, "
-                 "\"total_queries\": %llu, \"succeeded\": %u}%s\n",
+                 "\"total_queries\": %llu, \"succeeded\": %u, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                  P.Workers, P.WallSeconds, P.JobsPerSec, P.Speedup,
                  static_cast<unsigned long long>(P.TotalQueries),
-                 P.Succeeded, I + 1 == Sweep.size() ? "" : ",");
+                 P.Succeeded, P.Pct.P50Ms, P.Pct.P95Ms, P.Pct.P99Ms,
+                 I + 1 == Sweep.size() ? "" : ",");
   }
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"cache_jobs\": %zu,\n  \"cache\": [\n", CacheJobs);
@@ -220,10 +300,12 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
     std::fprintf(F,
                  "    {\"shards\": %u, \"wall_seconds\": %.6f, "
                  "\"jobs_per_sec\": %.3f, \"speedup\": %.3f, "
-                 "\"total_queries\": %llu, \"succeeded\": %u}%s\n",
+                 "\"total_queries\": %llu, \"succeeded\": %u, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                  P.Shards, P.WallSeconds, P.JobsPerSec, P.Speedup,
                  static_cast<unsigned long long>(P.TotalQueries),
-                 P.Succeeded, I + 1 == ShardRuns.size() ? "" : ",");
+                 P.Succeeded, P.Pct.P50Ms, P.Pct.P95Ms, P.Pct.P99Ms,
+                 I + 1 == ShardRuns.size() ? "" : ",");
   }
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"budget\": [\n");
@@ -232,11 +314,35 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
     std::fprintf(F,
                  "    {\"shards\": %u, \"wall_seconds\": %.6f, "
                  "\"jobs_per_sec\": %.3f, \"total_queries\": %llu, "
-                 "\"budget_spent\": %llu, \"aborted\": %u}%s\n",
+                 "\"budget_spent\": %llu, \"aborted\": %u, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                  P.Shards, P.WallSeconds, P.JobsPerSec,
                  static_cast<unsigned long long>(P.TotalQueries),
                  static_cast<unsigned long long>(P.BudgetSpent), P.Aborted,
+                 P.Pct.P50Ms, P.Pct.P95Ms, P.Pct.P99Ms,
                  I + 1 == BudgetRuns.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"phases\": [\n");
+  for (size_t I = 0; I != Phases.size(); ++I) {
+    const PhasePoint &P = Phases[I];
+    std::fprintf(F,
+                 "    {\"section\": \"%s\", \"param\": %u, "
+                 "\"wall_seconds\": %.6f, \"check_s\": %.6f, "
+                 "\"mutate_s\": %.6f, \"prune_s\": %.6f, "
+                 "\"sat_s\": %.6f}%s\n",
+                 P.Section, P.Param, P.WallSeconds, P.CheckS, P.MutateS,
+                 P.PruneS, P.SatS, I + 1 == Phases.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"obs\": [\n");
+  for (size_t I = 0; I != ObsRuns.size(); ++I) {
+    const ObsPoint &P = ObsRuns[I];
+    std::fprintf(F,
+                 "    {\"mode\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"jobs_per_sec\": %.3f, \"overhead_pct\": %.2f}%s\n",
+                 P.Mode, P.WallSeconds, P.JobsPerSec, P.OverheadPct,
+                 I + 1 == ObsRuns.size() ? "" : ",");
   }
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"learning_jobs\": %zu,\n  \"learning\": [\n",
@@ -265,6 +371,12 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
+  // Timed sections run with the hot-path obs tiers off regardless of the
+  // environment, so the JSON stays comparable with the pre-obs history
+  // and with runs under NETUPD_OBS_DETAIL/NETUPD_TRACE; the profiled
+  // passes and the obs section flip them on deliberately.
+  obs::setDetail(false);
+  obs::setTracing(false);
   // The parallel-scaling sections run floored (see the file comment):
   // below these sizes they measure setup overhead, not scaling.
   double SweepScale = std::max(Scale, 1.0);
@@ -316,6 +428,7 @@ int main(int Argc, char **Argv) {
     P.Speedup = BaseSeconds / Rep.WallSeconds;
     P.TotalQueries = Rep.TotalQueries;
     P.Succeeded = Rep.numSucceeded();
+    P.Pct = jobPercentiles(Rep);
     Sweep.push_back(P);
 
     row({std::to_string(Workers), format("%.3f", Rep.WallSeconds),
@@ -324,6 +437,34 @@ int main(int Argc, char **Argv) {
              std::to_string(Rep.Reports.size()),
          std::to_string(Rep.TotalQueries)},
         {9, 10, 9, 7, 10});
+  }
+
+  // One profiled pass over the sweep batch: the detail tier on, at the
+  // widest worker count, yields the phase breakdown (where do the
+  // thread-seconds go — checking, mutate/rollback, pruning, SAT?) that
+  // the timed sweep deliberately does not collect. Verdicts must match
+  // the unprofiled runs: observability never changes a result.
+  std::vector<PhasePoint> Phases;
+  {
+    EngineOptions EO;
+    EO.NumWorkers = MaxWorkers;
+    EO.CacheResults = false;
+    EO.SharedLearning = false;
+    obs::setDetail(true);
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(Jobs);
+    obs::setDetail(false);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (Verdicts != BaseVerdicts) {
+      std::printf("ERROR: profiled sweep pass changed a verdict\n");
+      return 1;
+    }
+    Phases.push_back({"sweep", MaxWorkers, Rep.WallSeconds,
+                      Rep.Merged.CheckSeconds, Rep.Merged.MutateSeconds,
+                      Rep.Merged.PruneSeconds, Rep.Merged.SatSeconds});
   }
 
   banner("portfolio racing: double diamonds (Fig. 8(h) regime)");
@@ -530,6 +671,7 @@ int main(int Argc, char **Argv) {
                                     : 1.0;
     P.TotalQueries = Rep.TotalQueries;
     P.Succeeded = Rep.numSucceeded();
+    P.Pct = jobPercentiles(Rep);
     ShardRuns.push_back(P);
 
     row({std::to_string(Shards), format("%.3f", Rep.WallSeconds),
@@ -538,6 +680,110 @@ int main(int Argc, char **Argv) {
              std::to_string(Rep.Reports.size()),
          std::to_string(Rep.TotalQueries)},
         {9, 10, 9, 7, 10});
+  }
+
+  banner("observability: tier overhead + deep-proof phase profile");
+  // The deep proofs at 1 shard / 1 worker are the most instrumentation-
+  // dense workload in this bench (every candidate passes a trace site,
+  // a phase scope, and the V/W lock wrappers), so they bound the obs
+  // overhead from above. Three back-to-back modes; verdicts AND query
+  // counts must be identical — the search is deterministic here, so any
+  // drift would mean observability steered it.
+  std::vector<ObsPoint> ObsRuns;
+  {
+    std::vector<SynthStatus> ObsVerdicts;
+    uint64_t ObsQueries = 0;
+    for (const char *Mode : {"off", "metrics", "trace"}) {
+      bool Detail = std::string(Mode) != "off";
+      bool Tracing = std::string(Mode) == "trace";
+      obs::setDetail(Detail);
+      if (Tracing) {
+        obs::clearSpans();
+        obs::setTracing(true);
+      }
+      EngineOptions EO;
+      EO.NumWorkers = 1;
+      EO.CacheResults = false;
+      EO.SharedLearning = false;
+      EO.IntraJobShards = 1;
+      SynthEngine Engine(EO);
+      BatchReport Rep = Engine.run(ShardJobs);
+      obs::setTracing(false);
+      obs::setDetail(false);
+
+      std::vector<SynthStatus> Verdicts;
+      for (const SynthReport &R : Rep.Reports)
+        Verdicts.push_back(R.Result.Status);
+      if (ObsRuns.empty()) {
+        ObsVerdicts = Verdicts;
+        ObsQueries = Rep.TotalQueries;
+      } else if (Verdicts != ObsVerdicts ||
+                 Rep.TotalQueries != ObsQueries) {
+        std::printf("ERROR: obs mode '%s' changed a verdict or query "
+                    "count\n",
+                    Mode);
+        return 1;
+      }
+
+      ObsPoint P;
+      P.Mode = Mode;
+      P.WallSeconds = Rep.WallSeconds;
+      P.JobsPerSec =
+          Rep.WallSeconds > 0
+              ? static_cast<double>(ShardJobs.size()) / Rep.WallSeconds
+              : 0.0;
+      P.OverheadPct =
+          !ObsRuns.empty() && P.JobsPerSec > 0
+              ? 100.0 * (ObsRuns[0].JobsPerSec / P.JobsPerSec - 1.0)
+              : 0.0;
+      ObsRuns.push_back(P);
+
+      // The metrics run doubles as the 1-shard phase profile of the
+      // deep proofs (same knobs as the ShardRuns[0] point).
+      if (Detail && !Tracing)
+        Phases.push_back({"shards", 1, Rep.WallSeconds,
+                          Rep.Merged.CheckSeconds, Rep.Merged.MutateSeconds,
+                          Rep.Merged.PruneSeconds, Rep.Merged.SatSeconds});
+      if (Tracing) {
+        obs::writeChromeTrace("BENCH_trace.json");
+        std::printf("wrote BENCH_trace.json (%zu spans kept, %llu "
+                    "dropped; load in ui.perfetto.dev)\n",
+                    obs::snapshotSpans().size(),
+                    static_cast<unsigned long long>(obs::droppedSpans()));
+      }
+    }
+    row({"mode", "wall(s)", "jobs/s", "overhead"}, {9, 10, 9, 10});
+    for (const ObsPoint &P : ObsRuns)
+      row({P.Mode, format("%.3f", P.WallSeconds),
+           format("%.2f", P.JobsPerSec), format("%+.1f%%", P.OverheadPct)},
+          {9, 10, 9, 10});
+  }
+
+  // The 4-shard profiled pass completes the scaling story: compare its
+  // phase split against the 1-shard one to see where the extra
+  // thread-seconds go when the DFS is split (lock waits surface in the
+  // synth.*_lock_ns histograms, phase totals here).
+  {
+    EngineOptions EO;
+    EO.NumWorkers = 1;
+    EO.CacheResults = false;
+    EO.SharedLearning = false;
+    EO.IntraJobShards = 4;
+    obs::setDetail(true);
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(ShardJobs);
+    obs::setDetail(false);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (Verdicts != ShardBaseVerdicts) {
+      std::printf("ERROR: profiled 4-shard pass changed a verdict\n");
+      return 1;
+    }
+    Phases.push_back({"shards", 4, Rep.WallSeconds,
+                      Rep.Merged.CheckSeconds, Rep.Merged.MutateSeconds,
+                      Rep.Merged.PruneSeconds, Rep.Merged.SatSeconds});
   }
 
   banner("deterministic tight budgets: verdict stability + throughput");
@@ -599,6 +845,7 @@ int main(int Argc, char **Argv) {
     P.Aborted = 0;
     for (const SynthReport &R : Rep.Reports)
       P.Aborted += R.Result.Status == SynthStatus::Aborted;
+    P.Pct = jobPercentiles(Rep);
     BudgetRuns.push_back(P);
 
     row({std::to_string(Shards), format("%.3f", Rep.WallSeconds),
@@ -607,6 +854,32 @@ int main(int Argc, char **Argv) {
              std::to_string(Rep.Reports.size()),
          std::to_string(P.BudgetSpent)},
         {9, 10, 9, 7, 10});
+  }
+
+  // Profiled budget pass: under tiny quotas the phase mix shifts toward
+  // probing (every unit binds and dives a little), worth tracking
+  // separately from the unbounded deep proofs.
+  {
+    EngineOptions EO;
+    EO.NumWorkers = 1;
+    EO.CacheResults = false;
+    EO.SharedLearning = false;
+    EO.IntraJobShards = 1;
+    obs::setDetail(true);
+    SynthEngine Engine(EO);
+    BatchReport Rep = Engine.run(BudgetJobs);
+    obs::setDetail(false);
+
+    std::vector<SynthStatus> Verdicts;
+    for (const SynthReport &R : Rep.Reports)
+      Verdicts.push_back(R.Result.Status);
+    if (Verdicts != BudgetBaseVerdicts) {
+      std::printf("ERROR: profiled budget pass changed a verdict\n");
+      return 1;
+    }
+    Phases.push_back({"budget", 1, Rep.WallSeconds,
+                      Rep.Merged.CheckSeconds, Rep.Merged.MutateSeconds,
+                      Rep.Merged.PruneSeconds, Rep.Merged.SatSeconds});
   }
 
   banner("cross-job learning: repeated probes over one scenario family");
@@ -725,8 +998,17 @@ int main(int Argc, char **Argv) {
          std::to_string(P.SeededPrunes), std::to_string(P.Imported)},
         {9, 10, 9, 9, 9, 9});
 
+  banner("phase profile: thread-seconds per search phase (detail tier)");
+  row({"section", "param", "wall(s)", "check", "mutate", "prune", "sat"},
+      {9, 7, 10, 9, 9, 9, 9});
+  for (const PhasePoint &P : Phases)
+    row({P.Section, std::to_string(P.Param), format("%.3f", P.WallSeconds),
+         format("%.3f", P.CheckS), format("%.3f", P.MutateS),
+         format("%.3f", P.PruneS), format("%.3f", P.SatS)},
+        {9, 7, 10, 9, 9, 9, 9});
+
   writeJson(Scale, SweepScale, ShardScale, Jobs.size(), Sweep,
             CacheJobs.size(), CacheRuns, ShardRuns, BudgetRuns,
-            LearnJobs.size(), LearnRuns);
+            LearnJobs.size(), LearnRuns, Phases, ObsRuns);
   return 0;
 }

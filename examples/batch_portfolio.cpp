@@ -14,9 +14,17 @@
 /// rest; instances where no switch-granularity order exists (the
 /// Fig. 8(h) "double diamond") are won by the rule-granularity racer.
 ///
+/// The run is also observed: EngineOptions::TraceFile turns on span
+/// tracing for the engine's lifetime and dumps a Chrome-trace JSON on
+/// destruction (open it at ui.perfetto.dev to see jobs, portfolio
+/// members, and searches nested on a timeline), and the metrics
+/// registry snapshot at the end is the JSON a synthesis daemon would
+/// serve from its stats endpoint.
+///
 //===----------------------------------------------------------------------===//
 
 #include "engine/Engine.h"
+#include "obs/Metrics.h"
 #include "topo/Generators.h"
 
 #include <cstdio>
@@ -55,25 +63,42 @@ int main() {
     Jobs.push_back(std::move(Job));
   }
 
-  // 2. Run the whole batch on a fixed-size worker pool. Reports come
+  // 2. Run the whole batch on a fixed-size worker pool, with span
+  //    tracing on: the engine writes every span recorded during its
+  //    lifetime to the trace file when it is destroyed. Reports come
   //    back in job order whatever the scheduling.
   EngineOptions EO;
   EO.NumWorkers = 4;
-  SynthEngine Engine(EO);
-  BatchReport Rep = Engine.run(Jobs);
+  EO.TraceFile = "batch_portfolio_trace.json";
+  BatchReport Rep;
+  std::string Snapshot;
+  {
+    SynthEngine Engine(EO);
+    Rep = Engine.run(Jobs);
 
-  // 3. Inspect the verdicts.
-  std::printf("%zu jobs on %u workers: %u synthesized, %.3fs wall\n",
-              Jobs.size(), Engine.numWorkers(), Rep.numSucceeded(),
-              Rep.WallSeconds);
-  for (const SynthReport &Report : Rep.Reports) {
-    std::printf("  %-18s %-9s won by %-18s (%zu commands, %.3fs)\n",
-                Report.JobName.c_str(),
-                Report.ok() ? "success" : "infeasible",
-                Report.ok() ? Report.Winner.c_str() : "-",
-                Report.Result.Commands.size(), Report.Seconds);
-  }
-  std::printf("checker queries across all racers: %llu\n",
-              static_cast<unsigned long long>(Rep.TotalQueries));
+    // 3. Inspect the verdicts.
+    std::printf("%zu jobs on %u workers: %u synthesized, %.3fs wall\n",
+                Jobs.size(), Engine.numWorkers(), Rep.numSucceeded(),
+                Rep.WallSeconds);
+    for (const SynthReport &Report : Rep.Reports) {
+      std::printf("  %-18s %-9s won by %-18s (%zu commands, %.3fs)\n",
+                  Report.JobName.c_str(),
+                  Report.ok() ? "success" : "infeasible",
+                  Report.ok() ? Report.Winner.c_str() : "-",
+                  Report.Result.Commands.size(), Report.Seconds);
+    }
+    std::printf("checker queries across all racers: %llu\n",
+                static_cast<unsigned long long>(Rep.TotalQueries));
+
+    // 4. What the process observed about itself: job latencies, queue
+    //    waits, and cache counters, as the daemon-ready JSON payload.
+    //    Sampled while the engine lives — its result cache unregisters
+    //    from the registry on destruction.
+    Snapshot = obs::MetricsRegistry::instance().snapshotJson();
+  } // Engine destroyed: batch_portfolio_trace.json written here.
+
+  std::printf("\ntrace timeline: batch_portfolio_trace.json "
+              "(open in ui.perfetto.dev)\n");
+  std::printf("metrics snapshot:\n%s\n", Snapshot.c_str());
   return Rep.numSucceeded() == Rep.Reports.size() ? 0 : 1;
 }

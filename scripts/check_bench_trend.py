@@ -6,11 +6,20 @@ previous successful CI run's artifact) and emits GitHub warning
 annotations for regressions beyond a threshold:
 
   - jobs/sec drops  > threshold in any section point (sweep, cache,
-    shards, budget, learning),
+    shards, budget, learning, obs),
   - cache/memo hit-rate drops > threshold (relative) in the cache
     section,
   - total checker-query INCREASES > threshold in the learning "on" mode
-    (fewer queries is the point of the constraint store).
+    (fewer queries is the point of the constraint store),
+  - p50/p95/p99 job-latency INCREASES > threshold in the sweep, shards,
+    and budget sections (lower is better),
+  - per-phase thread-second INCREASES > threshold in the "phases"
+    section's profiled passes.
+
+Unknown top-level keys and unknown fields inside section points are
+ignored, and sections absent from either file are skipped, so old and
+new bench formats compare against each other without errors — the gate
+only ever looks at fields both files have.
 
 Sections are only compared when both files measured them at the same
 per-section scale (the bench floors its parallel sections and records
@@ -112,19 +121,33 @@ def main():
         return 0
 
     t = args.threshold
+    pct = [("p50_ms", True), ("p95_ms", True), ("p99_ms", True)]
     compare_section(base, cur, "sweep", "workers",
-                    [("jobs_per_sec", False)], t)
+                    [("jobs_per_sec", False)] + pct, t)
     compare_section(base, cur, "cache", "mode",
                     [("jobs_per_sec", False),
                      ("engine_cache_hit_rate", False),
                      ("memo_hit_rate", False)], t)
     compare_section(base, cur, "shards", "shards",
-                    [("jobs_per_sec", False)], t)
+                    [("jobs_per_sec", False)] + pct, t)
     compare_section(base, cur, "budget", "shards",
-                    [("jobs_per_sec", False)], t)
+                    [("jobs_per_sec", False)] + pct, t)
     compare_section(base, cur, "learning", "mode",
                     [("jobs_per_sec", False),
                      ("total_queries", True)], t)
+    # The obs overhead modes: a jobs/sec drop in "off" is an overhead
+    # regression of the always-on tier; drops in "metrics"/"trace" price
+    # the optional tiers. Phases compare per (section, param) pair via a
+    # composite label; thread-second increases are regressions.
+    compare_section(base, cur, "obs", "mode",
+                    [("jobs_per_sec", False)], t)
+    for doc in (base, cur):
+        for p in doc.get("phases", []):
+            if isinstance(p, dict) and "section" in p and "param" in p:
+                p["_phase_key"] = f"{p['section']}@{p['param']}"
+    compare_section(base, cur, "phases", "_phase_key",
+                    [("check_s", True), ("mutate_s", True),
+                     ("prune_s", True), ("sat_s", True)], t)
     note("comparison complete")
     return 0
 

@@ -8,6 +8,8 @@
 #include "engine/Engine.h"
 
 #include "mc/BackendFactory.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -52,6 +54,7 @@ MemberOutcome runMember(const Scenario &Shared, const Digest &ScenarioDigest,
                         const std::shared_ptr<ConstraintStore> &Learning) {
   MemberOutcome Out;
   Out.Name = memberDisplayName(M);
+  obs::TraceSpan Span("engine.member");
 
   Scenario Local = Shared; // Private clone; see Engine.h isolation note.
   std::unique_ptr<CheckerBackend> Checker =
@@ -232,6 +235,38 @@ SynthEngine::SynthEngine(EngineOptions InitOpts) : Opts(std::move(InitOpts)) {
   if (Opts.SharedLearning)
     Learn = Opts.Learning ? Opts.Learning
                           : std::make_shared<ConstraintStore>();
+
+  // Surface this engine's caches in metrics snapshots (pull-based; the
+  // callbacks sample CacheStats at snapshot time). Weak captures: a
+  // snapshot taken between our destructor's unregister and a racing
+  // provider copy must not resurrect a dying cache.
+  auto Sample = [](const CacheStats &St) {
+    obs::CacheSample S;
+    S.Hits = St.Hits;
+    S.Misses = St.Misses;
+    S.Evictions = St.Evictions;
+    S.Entries = St.Entries;
+    return S;
+  };
+  std::weak_ptr<ResultCache> WC = Cache;
+  CacheStatsToken = obs::MetricsRegistry::instance().registerCacheStats(
+      "engine.result_cache", [WC, Sample]() -> obs::CacheSample {
+        if (auto C = WC.lock())
+          return Sample(C->stats());
+        return {};
+      });
+  if (Learn) {
+    std::weak_ptr<ConstraintStore> WL = Learn;
+    LearnStatsToken = obs::MetricsRegistry::instance().registerCacheStats(
+        "engine.constraint_store", [WL, Sample]() -> obs::CacheSample {
+          if (auto L = WL.lock())
+            return Sample(L->stats());
+          return {};
+        });
+  }
+  if (!Opts.TraceFile.empty())
+    obs::setTracing(true);
+
   Pool.reserve(Workers);
   // Workers spawn lazily in submit(): a 1-job batch costs one thread no
   // matter how wide the machine is.
@@ -264,6 +299,11 @@ SynthEngine::~SynthEngine() {
     }
     St->CV.notify_all();
   }
+
+  obs::MetricsRegistry::instance().unregisterCacheStats(CacheStatsToken);
+  obs::MetricsRegistry::instance().unregisterCacheStats(LearnStatsToken);
+  if (!Opts.TraceFile.empty())
+    obs::writeChromeTrace(Opts.TraceFile); // Best-effort; see Engine.h.
 }
 
 JobHandle SynthEngine::submit(SynthJob Job) {
@@ -276,6 +316,7 @@ JobHandle SynthEngine::submit(SynthJob Job) {
     if (ShuttingDown) {
       Rejected = true;
     } else {
+      St->EnqueuedNs = obs::nowNs();
       Queue.push_back(St);
       // Grow the pool only when the backlog exceeds the idle workers;
       // see IdleWorkers in Engine.h.
@@ -313,6 +354,18 @@ void SynthEngine::workerLoop() {
 }
 
 void SynthEngine::executeJob(detail::JobState &St) {
+  // Always-on per-job metrics: a handful of relaxed atomic ops per job,
+  // invisible next to a synthesis run (per-call metrics live behind
+  // obs::detailEnabled() instead).
+  obs::MetricsRegistry &MR = obs::MetricsRegistry::instance();
+  static obs::Histogram &QueueWait = MR.histogram("engine.queue_wait_ns");
+  static obs::Histogram &JobLatency = MR.histogram("engine.job_ns");
+  static obs::Counter &JobsDone = MR.counter("engine.jobs_completed");
+  static obs::Counter &JobsCached = MR.counter("engine.jobs_from_cache");
+  if (St.EnqueuedNs)
+    QueueWait.record(obs::nowNs() - St.EnqueuedNs);
+
+  obs::TraceSpan Span("engine.job");
   Timer JobClock;
   StopToken Stop = anyToken(Opts.Stop, St.Cancel.token());
 
@@ -354,6 +407,11 @@ void SynthEngine::executeJob(detail::JobState &St) {
   } else {
     Rep = runOneJob(St.Job, St.Index, Stop);
   }
+
+  JobsDone.add();
+  if (Rep.FromCache)
+    JobsCached.add();
+  JobLatency.recordSeconds(JobClock.seconds());
 
   {
     std::lock_guard<std::mutex> Lock(St.M);

@@ -25,6 +25,8 @@
 #ifndef NETUPD_SUPPORT_CONCURRENTSET_H
 #define NETUPD_SUPPORT_CONCURRENTSET_H
 
+#include "obs/Metrics.h"
+
 #include <cstddef>
 #include <functional>
 #include <mutex>
@@ -37,13 +39,20 @@ namespace netupd {
 /// A thread-safe hash set, sharded by hash so concurrent DFS shards
 /// rarely contend on the same mutex. Grow-only during a search; see
 /// file comment.
+///
+/// Lock acquisitions on the probe/claim path feed the
+/// synth.vset_lock_ns wait histogram when the obs detail tier is on
+/// (this container is the sharded search's V set, one of the suspected
+/// contention points behind the flat shard scaling) — and cost one
+/// relaxed load when it is off.
 template <typename T, typename Hash = std::hash<T>> class ConcurrentSet {
 public:
   /// Inserts \p V; returns true iff it was not already present. The
   /// true-return is unique per value across all threads (the claim).
   bool insert(const T &V) {
     Shard &S = shardFor(V);
-    std::lock_guard<std::mutex> Lock(S.M);
+    obs::timedLock(S.M, lockWait());
+    std::lock_guard<std::mutex> Lock(S.M, std::adopt_lock);
     return S.Set.insert(V).second;
   }
 
@@ -52,7 +61,8 @@ public:
   /// as a cheap pre-filter and insert() as the authoritative claim.
   bool contains(const T &V) const {
     const Shard &S = shardFor(V);
-    std::lock_guard<std::mutex> Lock(S.M);
+    obs::timedLock(S.M, lockWait());
+    std::lock_guard<std::mutex> Lock(S.M, std::adopt_lock);
     return S.Set.count(V) != 0;
   }
 
@@ -84,6 +94,12 @@ private:
     return Shards[Hash()(V) % NumShards];
   }
 
+  static obs::Histogram &lockWait() {
+    static obs::Histogram &H =
+        obs::MetricsRegistry::instance().histogram("synth.vset_lock_ns");
+    return H;
+  }
+
   Shard Shards[NumShards];
 };
 
@@ -94,13 +110,17 @@ private:
 template <typename T> class SharedAppendList {
 public:
   void append(T V) {
-    std::unique_lock<std::shared_mutex> Lock(M);
+    obs::timedLock(M, lockWait());
+    std::unique_lock<std::shared_mutex> Lock(M, std::adopt_lock);
     Items.push_back(std::move(V));
   }
 
   /// True if \p Pred holds for any element; scans under a shared lock.
+  /// Reader-side waits (a writer holding the W lock stalls every DFS
+  /// probe) feed synth.wset_lock_ns when the obs detail tier is on.
   template <typename Fn> bool any(Fn &&Pred) const {
-    std::shared_lock<std::shared_mutex> Lock(M);
+    obs::timedLockShared(M, lockWait());
+    std::shared_lock<std::shared_mutex> Lock(M, std::adopt_lock);
     for (const T &V : Items)
       if (Pred(V))
         return true;
@@ -121,6 +141,12 @@ public:
   }
 
 private:
+  static obs::Histogram &lockWait() {
+    static obs::Histogram &H =
+        obs::MetricsRegistry::instance().histogram("synth.wset_lock_ns");
+    return H;
+  }
+
   mutable std::shared_mutex M;
   std::vector<T> Items;
 };

@@ -7,6 +7,8 @@
 
 #include "synth/EarlyTermination.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -49,10 +51,22 @@ void EarlyTermination::mention(unsigned Op) {
   Mentioned.push_back(Op);
 }
 
+namespace {
+/// Wait-time histogram for the EarlyTermination mutex — held across SAT
+/// solves, so it is the prime suspect for shard stalls under learning.
+netupd::obs::Histogram &satLockWait() {
+  static netupd::obs::Histogram &H =
+      netupd::obs::MetricsRegistry::instance().histogram(
+          "synth.sat_lock_ns");
+  return H;
+}
+} // namespace
+
 void EarlyTermination::addCexConstraint(
     const std::vector<unsigned> &Updated,
     const std::vector<unsigned> &NotUpdated) {
-  std::lock_guard<std::mutex> Lock(M);
+  obs::timedLock(M, satLockWait());
+  std::lock_guard<std::mutex> Lock(M, std::adopt_lock);
   if (KnownImpossible)
     return;
   // A cancelled search learns nothing: skip the (cubic) transitivity
@@ -102,7 +116,8 @@ void EarlyTermination::addMaskValueConstraint(const Bitset &Mask,
 }
 
 bool EarlyTermination::impossible() {
-  std::lock_guard<std::mutex> Lock(M);
+  obs::timedLock(M, satLockWait());
+  std::lock_guard<std::mutex> Lock(M, std::adopt_lock);
   if (KnownImpossible)
     return true;
   if (!Dirty)

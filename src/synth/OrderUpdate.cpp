@@ -53,6 +53,8 @@
 
 #include "synth/OrderUpdate.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Bitset.h"
 #include "support/Budget.h"
 #include "support/ConcurrentSet.h"
@@ -70,6 +72,43 @@
 using namespace netupd;
 
 namespace {
+
+/// Accumulates wall time into a nanosecond phase counter while alive —
+/// the unit of the per-shard phase breakdown (SynthStats::CheckSeconds
+/// and friends). Inert unless constructed armed, so a detail-off run
+/// pays one relaxed load per tryCandidate and no clock reads. An
+/// optional histogram additionally receives the per-call duration.
+class PhaseScope {
+public:
+  PhaseScope(bool Armed, uint64_t &AccNs, obs::Histogram *H = nullptr)
+      : Acc(Armed ? &AccNs : nullptr), Hist(H) {
+    if (Acc)
+      T0 = obs::nowNs();
+  }
+  ~PhaseScope() {
+    if (!Acc)
+      return;
+    uint64_t D = obs::nowNs() - T0;
+    *Acc += D;
+    if (Hist)
+      Hist->record(D);
+  }
+  PhaseScope(const PhaseScope &) = delete;
+  PhaseScope &operator=(const PhaseScope &) = delete;
+
+private:
+  uint64_t *Acc;
+  obs::Histogram *Hist;
+  uint64_t T0 = 0;
+};
+
+/// Per-call mutate/rollback latency (applySwitchUpdate and undo both
+/// feed it), alive only under the obs detail tier.
+obs::Histogram &mutateLatency() {
+  static obs::Histogram &H =
+      obs::MetricsRegistry::instance().histogram("synth.mutate_ns");
+  return H;
+}
 
 /// One search operation: replace switch Sw's whole table (ClassIdx = -1,
 /// switch granularity) or only its rules for one traffic class
@@ -359,6 +398,7 @@ public:
   /// full check (Fig. 4 line 7); counted like any other query but exempt
   /// from budget charging — setup cost, performed once per shard.
   CheckResult bindInitial() {
+    PhaseScope Ps(obs::detailEnabled(), PhaseCheckNs);
     CheckResult R = Checker.bind(K, Ctx.Phi);
     ++Stats.CheckCalls;
     return R;
@@ -400,7 +440,11 @@ public:
         return; // A lower unit already won; everything from here on is
                 // outranked (units are pulled in increasing order).
       beginUnit(Unit);
-      bool Won = tryCandidate(Ctx.OpOrder[Unit]);
+      bool Won;
+      {
+        obs::TraceSpan Span("synth.unit");
+        Won = tryCandidate(Ctx.OpOrder[Unit]);
+      }
       finishUnit();
       if (Won) {
         Ctx.recordWinner(Unit, AppliedSeq);
@@ -410,6 +454,18 @@ public:
   }
 
   SynthStats Stats;
+
+  /// Folds the phase accumulators into Stats. Called exactly once, by
+  /// whoever consumes Stats after the shard retired (the shard thread
+  /// itself, or runSearch's Finish for the primary).
+  void finalizeStats() {
+    Stats.CheckSeconds += PhaseCheckNs / 1e9;
+    Stats.MutateSeconds += PhaseMutateNs / 1e9;
+    Stats.PruneSeconds += PhasePruneNs / 1e9;
+    Stats.SatSeconds += PhaseSatNs / 1e9;
+    PhaseCheckNs = PhaseMutateNs = PhasePruneNs = PhaseSatNs = 0;
+  }
+
   /// Unit-local wrong-set entries collected for the cross-job export
   /// (deterministic budget mode only — elsewhere entries live in the
   /// context's shared containers). Harvested after the shard retires.
@@ -478,8 +534,11 @@ private:
   /// recurse, roll back. Returns true iff a full correct sequence was
   /// completed below this edge.
   bool tryCandidate(unsigned I) {
+    const bool Prof = obs::detailEnabled();
     Bitset Next = Applied;
     Next.set(I);
+    {
+    PhaseScope PrunePs(Prof, PhasePruneNs);
     if (Ctx.Deterministic) {
       // Unit-local pruning: nothing another shard does can change which
       // prefixes this unit affords, so the charge sequence below is
@@ -541,18 +600,22 @@ private:
         return false;
       }
     }
+    } // PrunePs: probes, claims, and their checkpoints end here.
 
     const MicroOp &Op = Ctx.Ops[I];
     const Header *ClassHdr =
         Op.ClassIdx < 0
             ? nullptr
             : &Ctx.Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
-    Table NewTable = opResultTable(K.config().table(Op.Sw),
-                                   Ctx.Final.table(Op.Sw), ClassHdr);
-
     std::vector<StateId> Changed;
-    KripkeStructure::UndoRecord Undo =
-        K.applySwitchUpdate(Op.Sw, NewTable, Changed);
+    Table NewTable;
+    KripkeStructure::UndoRecord Undo;
+    {
+      PhaseScope MutPs(Prof, PhaseMutateNs, Prof ? &mutateLatency() : nullptr);
+      NewTable = opResultTable(K.config().table(Op.Sw),
+                               Ctx.Final.table(Op.Sw), ClassHdr);
+      Undo = K.applySwitchUpdate(Op.Sw, NewTable, Changed);
+    }
     UpdateInfo Info;
     Info.Sw = Op.Sw;
     Info.OldTable = &Undo.OldTable;
@@ -560,7 +623,11 @@ private:
     Info.ChangedStates = &Changed;
 
     // The checker charges the unit account here (mc/CheckerBackend.h).
-    CheckResult Res = Checker.recheckAfterUpdate(Info);
+    CheckResult Res;
+    {
+      PhaseScope ChkPs(Prof, PhaseCheckNs);
+      Res = Checker.recheckAfterUpdate(Info);
+    }
     ++Stats.CheckCalls;
 
     bool Success = false;
@@ -574,18 +641,25 @@ private:
       }
     } else if (Ctx.Opts.CexPruning && !Res.Cex.empty() &&
                Checker.providesCounterexamples()) {
+      // Mostly SAT-layer work (constraint derivation + clause push);
+      // the W append rides along.
+      PhaseScope SatPs(Prof, PhaseSatNs);
       learnCex(Res.Cex, Next);
     }
 
     if (Success)
       return true; // Keep the structure mutated; the caller replays.
 
-    Checker.notifyRollback();
-    K.undo(Undo);
+    {
+      PhaseScope MutPs(Prof, PhaseMutateNs, Prof ? &mutateLatency() : nullptr);
+      Checker.notifyRollback();
+      K.undo(Undo);
+    }
 
     if (Ctx.Opts.EarlyTermination && !Res.Holds &&
         ++FailuresSinceEtCheck >= EtCheckInterval) {
       FailuresSinceEtCheck = 0;
+      PhaseScope SatPs(Prof, PhaseSatNs);
       // Deterministic mode consults the unit-local solver (its clause
       // set, and therefore its verdict, is a pure function of the unit);
       // an UNSAT answer is an instance-level proof either way.
@@ -682,6 +756,12 @@ private:
   Bitset Applied;
   std::vector<unsigned> AppliedSeq;
   bool AbortFlag = false;
+  /// Phase-breakdown accumulators (ns); zero unless the obs detail tier
+  /// was on. finalizeStats() converts them into the SynthStats seconds.
+  uint64_t PhaseCheckNs = 0;
+  uint64_t PhaseMutateNs = 0;
+  uint64_t PhasePruneNs = 0;
+  uint64_t PhaseSatNs = 0;
   /// The SAT check batches failures: solving after every learned clause
   /// is wasted work when the constraints are still easily satisfiable.
   unsigned FailuresSinceEtCheck = 0;
@@ -730,6 +810,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
                       const std::vector<TrafficClass> &Classes, Formula Phi,
                       CheckerBackend &Checker, const SynthOptions &Opts) {
   SynthResult Result;
+  obs::TraceSpan SearchSpan("synth.search");
   SearchContext Ctx(Topo, Initial, Final, Classes, Phi, Opts);
   Ctx.ET.setStopToken(Ctx.stopToken());
   Ctx.buildOps();
@@ -795,6 +876,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   // containers already hold everything).
   std::vector<std::vector<std::pair<Bitset, Bitset>>> ShardLearned;
   auto Finish = [&](SynthStatus Status) {
+    Primary.finalizeStats();
     Total.mergeFrom(Primary.Stats);
     // Unit-local solvers folded their clause counts into shard stats
     // already (deterministic mode); the shared solver adds the rest.
@@ -871,6 +953,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
     Threads.reserve(Shards - 1);
     for (unsigned T = 0; T != Shards - 1; ++T) {
       Threads.emplace_back([&, T] {
+        obs::TraceSpan ShardSpan("synth.shard");
         std::unique_ptr<CheckerBackend> ShardChecker =
             Opts.ShardCheckerFactory();
         if (!ShardChecker)
@@ -888,6 +971,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
         Shard.Stats.BackendQueries += ShardChecker->numQueries();
         Shard.Stats.CacheHits += ShardChecker->cacheHits();
         Shard.Stats.CacheMisses += ShardChecker->cacheMisses();
+        Shard.finalizeStats();
         ShardStats[T] = std::move(Shard.Stats);
         ShardLearned[T] = std::move(Shard.LearnedWrong);
       });
@@ -917,6 +1001,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   Total.WaitsBeforeRemoval = countWaits(Result.Commands);
   Total.WaitsAfterRemoval = Total.WaitsBeforeRemoval;
   if (Opts.WaitRemoval) {
+    obs::TraceSpan Span("synth.wait_removal");
     Timer WaitClock;
     Result.Commands = removeWaits(Topo, Initial, Classes, Result.Commands);
     Total.WaitRemovalSeconds = WaitClock.seconds();

@@ -201,10 +201,25 @@ struct SynthStats {
   unsigned WaitsAfterRemoval = 0;
   double SynthSeconds = 0.0;
   double WaitRemovalSeconds = 0.0;
+  /// Phase profile of the DFS, accumulated per shard and summed across
+  /// shards (so under sharding the totals are thread-seconds, which may
+  /// exceed SynthSeconds). All zero unless the obs detail tier
+  /// (obs::detailEnabled()) was on during the run: the per-candidate
+  /// clock reads live behind that switch. CheckSeconds is time inside
+  /// checker bind/recheck calls, MutateSeconds covers applySwitchUpdate
+  /// plus undo/rollback, PruneSeconds the V/W/seed probes and claims,
+  /// SatSeconds the EarlyTermination learning and impossibility calls.
+  double CheckSeconds = 0.0;
+  double MutateSeconds = 0.0;
+  double PruneSeconds = 0.0;
+  double SatSeconds = 0.0;
 
   /// Accumulates every counter of \p S into this. The single merging
   /// point — the engine's batch aggregation uses it, so a field added
   /// here is summed everywhere (counters sum, flags OR).
+  /// tests/synth_test.cpp pins sizeof(SynthStats): adding a field
+  /// without extending both this merge and that test fails the build
+  /// there, which is the point — PRs keep growing this struct by hand.
   void mergeFrom(const SynthStats &S) {
     CheckCalls += S.CheckCalls;
     VisitedPrunes += S.VisitedPrunes;
@@ -226,6 +241,10 @@ struct SynthStats {
     WaitsAfterRemoval += S.WaitsAfterRemoval;
     SynthSeconds += S.SynthSeconds;
     WaitRemovalSeconds += S.WaitRemovalSeconds;
+    CheckSeconds += S.CheckSeconds;
+    MutateSeconds += S.MutateSeconds;
+    PruneSeconds += S.PruneSeconds;
+    SatSeconds += S.SatSeconds;
   }
 };
 

@@ -394,3 +394,75 @@ TEST(EarlyTerminationTest, EmptyNotUpdatedMeansImpossible) {
   ET.addCexConstraint({3, 4}, {});
   EXPECT_TRUE(ET.impossible());
 }
+
+// --- SynthStats::mergeFrom coverage guard -----------------------------------
+
+// PRs keep growing SynthStats by hand, and a field added without a
+// mergeFrom line silently vanishes from every engine batch aggregate.
+// Two tripwires: the size pin below fails to compile the moment a field
+// is added (forcing whoever adds it to visit this test and mergeFrom),
+// and the doubling check verifies each existing field actually merges.
+#if defined(__x86_64__) || defined(__aarch64__)
+static_assert(sizeof(SynthStats) == 176,
+              "SynthStats changed size: add the new field to mergeFrom() "
+              "and to MergeFromCoversEveryField, then update this pin");
+#endif
+
+TEST(SynthStatsTest, MergeFromCoversEveryField) {
+  SynthStats A;
+  A.CheckCalls = 1;
+  A.VisitedPrunes = 2;
+  A.CexPrunes = 3;
+  A.SatClauses = 4;
+  A.CacheHits = 5;
+  A.CacheMisses = 6;
+  A.BackendQueries = 7;
+  A.EarlyTerminated = true;
+  A.BudgetSpent = 8;
+  A.BudgetRemaining = 9;
+  A.ExhaustedUnits = 10;
+  A.ImportedConstraints = 11;
+  A.ExportedConstraints = 12;
+  A.SeededPrunes = 13;
+  A.HitBudget = true;
+  A.Interrupted = true;
+  A.WaitsBeforeRemoval = 14;
+  A.WaitsAfterRemoval = 15;
+  A.SynthSeconds = 16.0;
+  A.WaitRemovalSeconds = 17.0;
+  A.CheckSeconds = 18.0;
+  A.MutateSeconds = 19.0;
+  A.PruneSeconds = 20.0;
+  A.SatSeconds = 21.0;
+
+  SynthStats B;
+  B.mergeFrom(A);
+  B.mergeFrom(A);
+
+  // Counters sum, flags OR, seconds add: everything must be exactly
+  // double the source (so a forgotten merge line reads as 0 != 2x).
+  EXPECT_EQ(B.CheckCalls, 2 * A.CheckCalls);
+  EXPECT_EQ(B.VisitedPrunes, 2 * A.VisitedPrunes);
+  EXPECT_EQ(B.CexPrunes, 2 * A.CexPrunes);
+  EXPECT_EQ(B.SatClauses, 2 * A.SatClauses);
+  EXPECT_EQ(B.CacheHits, 2 * A.CacheHits);
+  EXPECT_EQ(B.CacheMisses, 2 * A.CacheMisses);
+  EXPECT_EQ(B.BackendQueries, 2 * A.BackendQueries);
+  EXPECT_TRUE(B.EarlyTerminated);
+  EXPECT_EQ(B.BudgetSpent, 2 * A.BudgetSpent);
+  EXPECT_EQ(B.BudgetRemaining, 2 * A.BudgetRemaining);
+  EXPECT_EQ(B.ExhaustedUnits, 2 * A.ExhaustedUnits);
+  EXPECT_EQ(B.ImportedConstraints, 2 * A.ImportedConstraints);
+  EXPECT_EQ(B.ExportedConstraints, 2 * A.ExportedConstraints);
+  EXPECT_EQ(B.SeededPrunes, 2 * A.SeededPrunes);
+  EXPECT_TRUE(B.HitBudget);
+  EXPECT_TRUE(B.Interrupted);
+  EXPECT_EQ(B.WaitsBeforeRemoval, 2 * A.WaitsBeforeRemoval);
+  EXPECT_EQ(B.WaitsAfterRemoval, 2 * A.WaitsAfterRemoval);
+  EXPECT_DOUBLE_EQ(B.SynthSeconds, 2 * A.SynthSeconds);
+  EXPECT_DOUBLE_EQ(B.WaitRemovalSeconds, 2 * A.WaitRemovalSeconds);
+  EXPECT_DOUBLE_EQ(B.CheckSeconds, 2 * A.CheckSeconds);
+  EXPECT_DOUBLE_EQ(B.MutateSeconds, 2 * A.MutateSeconds);
+  EXPECT_DOUBLE_EQ(B.PruneSeconds, 2 * A.PruneSeconds);
+  EXPECT_DOUBLE_EQ(B.SatSeconds, 2 * A.SatSeconds);
+}
