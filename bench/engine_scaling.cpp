@@ -99,10 +99,13 @@ std::vector<SynthJob> buildBatch(double Scale) {
     Jobs.push_back(std::move(Job));
   };
 
-  // Six per family (at scale 1): enough jobs that no single heavy head
-  // can dominate the batch wall-clock — with the old three, the largest
-  // zoo instance bounded the 4-worker wall and the sweep read ~1.0x.
-  unsigned PerFamily = std::max(3u, static_cast<unsigned>(6 * Scale));
+  // Eighteen per family (at scale 1): enough jobs that no single heavy
+  // head can dominate the batch wall-clock (with three, the largest zoo
+  // instance bounded the 4-worker wall and the sweep read ~1.0x) and
+  // enough total work that the sweep runs >= 1s — below that the
+  // percentile and speedup figures tracked by check_bench_trend.py sit
+  // inside scheduler noise.
+  unsigned PerFamily = std::max(6u, static_cast<unsigned>(18 * Scale));
 
   // Zoo-like WANs, largest first so the batch has heavy heads.
   std::vector<unsigned> ZooIdx(NumZooLike);
@@ -133,11 +136,7 @@ struct JobPercentiles {
   double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0;
 };
 
-JobPercentiles jobPercentiles(const BatchReport &Rep) {
-  std::vector<double> S;
-  S.reserve(Rep.Reports.size());
-  for (const SynthReport &R : Rep.Reports)
-    S.push_back(R.Seconds);
+JobPercentiles percentilesOf(std::vector<double> S) {
   if (S.empty())
     return {};
   std::sort(S.begin(), S.end());
@@ -149,6 +148,28 @@ JobPercentiles jobPercentiles(const BatchReport &Rep) {
   return {At(0.50), At(0.95), At(0.99)};
 }
 
+/// On-CPU per-job latency: from worker pickup to report, excluding the
+/// queue (SynthReport::Seconds).
+JobPercentiles jobPercentiles(const BatchReport &Rep) {
+  std::vector<double> S;
+  S.reserve(Rep.Reports.size());
+  for (const SynthReport &R : Rep.Reports)
+    S.push_back(R.Seconds);
+  return percentilesOf(std::move(S));
+}
+
+/// Queue-wait percentiles, kept apart from the on-CPU ones: at high
+/// backlog-to-worker ratios the queue dominates end-to-end latency, and
+/// folding it in would make per-job cost look like it scales with the
+/// batch size.
+JobPercentiles queuePercentiles(const BatchReport &Rep) {
+  std::vector<double> S;
+  S.reserve(Rep.Reports.size());
+  for (const SynthReport &R : Rep.Reports)
+    S.push_back(R.QueueSeconds);
+  return percentilesOf(std::move(S));
+}
+
 /// One worker-count measurement for the JSON report.
 struct SweepPoint {
   unsigned Workers = 0;
@@ -158,6 +179,10 @@ struct SweepPoint {
   uint64_t TotalQueries = 0;
   unsigned Succeeded = 0;
   JobPercentiles Pct;
+  /// Queue-wait percentiles, reported beside the on-CPU ones: at one
+  /// worker almost the whole batch is queue time, and the split is what
+  /// shows whether adding workers shortens jobs or just the line.
+  JobPercentiles Queue;
 };
 
 /// One intra-job shard-count measurement for the JSON report.
@@ -167,6 +192,7 @@ struct ShardPoint {
   double JobsPerSec = 0.0;
   double Speedup = 1.0;
   uint64_t TotalQueries = 0;
+  uint64_t StolenTasks = 0;
   unsigned Succeeded = 0;
   JobPercentiles Pct;
 };
@@ -237,6 +263,7 @@ struct CachePoint {
 /// see the file comment) so the cross-commit trend gate can refuse to
 /// compare sections measured at different workload sizes.
 void writeJson(double Scale, double SweepScale, double ShardScale,
+               unsigned HardwareThreads,
                size_t SweepJobs, const std::vector<SweepPoint> &Sweep,
                size_t CacheJobs, const std::vector<CachePoint> &CacheRuns,
                const std::vector<ShardPoint> &ShardRuns,
@@ -251,6 +278,10 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
   }
   std::fprintf(F, "{\n  \"bench\": \"engine_scaling\",\n");
   std::fprintf(F, "  \"scale\": %g,\n", Scale);
+  // Parallel speedups only mean something relative to the cores the run
+  // actually had; the trend gate uses this to refuse cross-machine
+  // comparisons of the sweep/shards sections.
+  std::fprintf(F, "  \"hardware_threads\": %u,\n", HardwareThreads);
   std::fprintf(F, "  \"sweep_scale\": %g,\n", SweepScale);
   std::fprintf(F, "  \"cache_scale\": %g,\n", Scale);
   std::fprintf(F, "  \"shards_scale\": %g,\n", ShardScale);
@@ -268,10 +299,13 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
                  "    {\"workers\": %u, \"wall_seconds\": %.6f, "
                  "\"jobs_per_sec\": %.3f, \"speedup\": %.3f, "
                  "\"total_queries\": %llu, \"succeeded\": %u, "
-                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"queue_p50_ms\": %.3f, \"queue_p95_ms\": %.3f, "
+                 "\"queue_p99_ms\": %.3f}%s\n",
                  P.Workers, P.WallSeconds, P.JobsPerSec, P.Speedup,
                  static_cast<unsigned long long>(P.TotalQueries),
                  P.Succeeded, P.Pct.P50Ms, P.Pct.P95Ms, P.Pct.P99Ms,
+                 P.Queue.P50Ms, P.Queue.P95Ms, P.Queue.P99Ms,
                  I + 1 == Sweep.size() ? "" : ",");
   }
   std::fprintf(F, "  ],\n");
@@ -300,10 +334,12 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
     std::fprintf(F,
                  "    {\"shards\": %u, \"wall_seconds\": %.6f, "
                  "\"jobs_per_sec\": %.3f, \"speedup\": %.3f, "
-                 "\"total_queries\": %llu, \"succeeded\": %u, "
+                 "\"total_queries\": %llu, \"stolen_tasks\": %llu, "
+                 "\"succeeded\": %u, "
                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                  P.Shards, P.WallSeconds, P.JobsPerSec, P.Speedup,
                  static_cast<unsigned long long>(P.TotalQueries),
+                 static_cast<unsigned long long>(P.StolenTasks),
                  P.Succeeded, P.Pct.P50Ms, P.Pct.P95Ms, P.Pct.P99Ms,
                  I + 1 == ShardRuns.size() ? "" : ",");
   }
@@ -429,6 +465,7 @@ int main(int Argc, char **Argv) {
     P.TotalQueries = Rep.TotalQueries;
     P.Succeeded = Rep.numSucceeded();
     P.Pct = jobPercentiles(Rep);
+    P.Queue = queuePercentiles(Rep);
     Sweep.push_back(P);
 
     row({std::to_string(Workers), format("%.3f", Rep.WallSeconds),
@@ -593,13 +630,16 @@ int main(int Argc, char **Argv) {
   // previous workload, Fig. 8(h) double diamonds, refutes every root in
   // a single query — queries == ops+1 — so there was nothing to split
   // and the section measured pure shard setup: 0.73x at 4 shards.)
-  constexpr unsigned DiffCap = 18;
+  // 22-switch diffs x four instances run the section for >= 1s at scale
+  // 1.0 (the previous 18 x 3 sizing finished in ~30ms — thread start-up
+  // and queue hand-off noise swamped any real scaling signal).
+  constexpr unsigned DiffCap = 22;
   std::vector<SynthJob> ShardJobs;
   {
     Rng SR(23);
     DiamondOptions DO;
     DO.LongPaths = true; // Long branches: a wide safe lattice.
-    unsigned N = std::max(3u, static_cast<unsigned>(3 * ShardScale));
+    unsigned N = std::max(4u, static_cast<unsigned>(4 * ShardScale));
     for (unsigned I = 0; ShardJobs.size() < N && I != 8 * N; ++I) {
       Rng Fork = SR.fork();
       Topology Base = buildSmallWorld(96, 4, 0.2, Fork);
@@ -636,7 +676,8 @@ int main(int Argc, char **Argv) {
   std::printf("batch: %zu deep exhaustive proofs (diff capped at %u, "
               "section scale %g)\n",
               ShardJobs.size(), DiffCap, ShardScale);
-  row({"shards", "wall(s)", "speedup", "prf", "queries"}, {9, 10, 9, 7, 10});
+  row({"shards", "wall(s)", "speedup", "prf", "queries", "stolen"},
+      {9, 10, 9, 7, 10, 8});
   std::vector<ShardPoint> ShardRuns;
   double ShardBaseSeconds = 0.0;
   std::vector<SynthStatus> ShardBaseVerdicts;
@@ -670,6 +711,7 @@ int main(int Argc, char **Argv) {
     P.Speedup = Rep.WallSeconds > 0 ? ShardBaseSeconds / Rep.WallSeconds
                                     : 1.0;
     P.TotalQueries = Rep.TotalQueries;
+    P.StolenTasks = Rep.Merged.StolenTasks;
     P.Succeeded = Rep.numSucceeded();
     P.Pct = jobPercentiles(Rep);
     ShardRuns.push_back(P);
@@ -678,8 +720,9 @@ int main(int Argc, char **Argv) {
          format("%.2fx", P.Speedup),
          std::to_string(ShardJobs.size() - Rep.numSucceeded()) + "/" +
              std::to_string(Rep.Reports.size()),
-         std::to_string(Rep.TotalQueries)},
-        {9, 10, 9, 7, 10});
+         std::to_string(Rep.TotalQueries),
+         std::to_string(P.StolenTasks)},
+        {9, 10, 9, 7, 10, 8});
   }
 
   banner("observability: tier overhead + deep-proof phase profile");
@@ -759,16 +802,17 @@ int main(int Argc, char **Argv) {
           {9, 10, 9, 10});
   }
 
-  // The 4-shard profiled pass completes the scaling story: compare its
-  // phase split against the 1-shard one to see where the extra
-  // thread-seconds go when the DFS is split (lock waits surface in the
-  // synth.*_lock_ns histograms, phase totals here).
-  {
+  // Profiled passes at every non-trivial shard count complete the
+  // scaling story: comparing the 2- and 4-shard phase splits against the
+  // 1-shard one (collected by the obs section above) shows where the
+  // extra thread-seconds go when the DFS is split (lock waits surface in
+  // the synth.*_lock_ns histograms, phase totals here).
+  for (unsigned Shards : {2u, 4u}) {
     EngineOptions EO;
     EO.NumWorkers = 1;
     EO.CacheResults = false;
     EO.SharedLearning = false;
-    EO.IntraJobShards = 4;
+    EO.IntraJobShards = Shards;
     obs::setDetail(true);
     SynthEngine Engine(EO);
     BatchReport Rep = Engine.run(ShardJobs);
@@ -778,10 +822,11 @@ int main(int Argc, char **Argv) {
     for (const SynthReport &R : Rep.Reports)
       Verdicts.push_back(R.Result.Status);
     if (Verdicts != ShardBaseVerdicts) {
-      std::printf("ERROR: profiled 4-shard pass changed a verdict\n");
+      std::printf("ERROR: profiled %u-shard pass changed a verdict\n",
+                  Shards);
       return 1;
     }
-    Phases.push_back({"shards", 4, Rep.WallSeconds,
+    Phases.push_back({"shards", Shards, Rep.WallSeconds,
                       Rep.Merged.CheckSeconds, Rep.Merged.MutateSeconds,
                       Rep.Merged.PruneSeconds, Rep.Merged.SatSeconds});
   }
@@ -1007,7 +1052,7 @@ int main(int Argc, char **Argv) {
          format("%.3f", P.PruneS), format("%.3f", P.SatS)},
         {9, 7, 10, 9, 9, 9, 9});
 
-  writeJson(Scale, SweepScale, ShardScale, Jobs.size(), Sweep,
+  writeJson(Scale, SweepScale, ShardScale, Cores, Jobs.size(), Sweep,
             CacheJobs.size(), CacheRuns, ShardRuns, BudgetRuns,
             LearnJobs.size(), LearnRuns, Phases, ObsRuns);
   return 0;

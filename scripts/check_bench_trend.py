@@ -14,7 +14,11 @@ annotations for regressions beyond a threshold:
   - p50/p95/p99 job-latency INCREASES > threshold in the sweep, shards,
     and budget sections (lower is better),
   - per-phase thread-second INCREASES > threshold in the "phases"
-    section's profiled passes.
+    section's profiled passes,
+  - shard-scaling speedup drops > threshold and checker-query INCREASES
+    in the shards section (query-neutrality of the sharded search),
+  - obs overhead_pct INCREASES > threshold in the metrics/trace tiers
+    (the instrumentation-cost budget).
 
 Unknown top-level keys and unknown fields inside section points are
 ignored, and sections absent from either file are skipped, so old and
@@ -24,21 +28,30 @@ only ever looks at fields both files have.
 Sections are only compared when both files measured them at the same
 per-section scale (the bench floors its parallel sections and records
 the effective scale precisely so this script never compares different
-workload sizes).
+workload sizes). Parallel sections (sweep, shards, budget) are
+additionally skipped when the two runs report different
+hardware_threads — speedups from different machines are not comparable.
 
-Always exits 0: CI perf numbers are noisy across runners, so the gate
-warns and records, it never blocks. Usage:
+By default always exits 0: CI perf numbers are noisy across runners, so
+the gate warns and records, it never blocks. Set
+NETUPD_BENCH_TREND_ENFORCE=1 to exit nonzero when any regression beyond
+the threshold was found (for perf-focused CI lanes with pinned
+runners). Usage:
 
   check_bench_trend.py BASELINE.json CURRENT.json [--threshold 0.25]
 """
 
 import argparse
 import json
+import os
 import sys
+
+REGRESSIONS = []
 
 
 def warn(msg):
     # GitHub annotation syntax; plain text everywhere else.
+    REGRESSIONS.append(msg)
     print(f"::warning title=bench trend::{msg}")
 
 
@@ -122,25 +135,43 @@ def main():
 
     t = args.threshold
     pct = [("p50_ms", True), ("p95_ms", True), ("p99_ms", True)]
-    compare_section(base, cur, "sweep", "workers",
-                    [("jobs_per_sec", False)] + pct, t)
+    # Speedups only mean something on the same core count; refuse to
+    # compare the parallel sections across machines. Files without the
+    # field (old format) compare as before.
+    base_hw = base.get("hardware_threads")
+    cur_hw = cur.get("hardware_threads")
+    same_machine = base_hw is None or cur_hw is None or base_hw == cur_hw
+    if not same_machine:
+        note(f"skipping parallel sections: hardware_threads differ "
+             f"({base_hw} vs {cur_hw})")
+    if same_machine:
+        compare_section(base, cur, "sweep", "workers",
+                        [("jobs_per_sec", False)] + pct, t)
     compare_section(base, cur, "cache", "mode",
                     [("jobs_per_sec", False),
                      ("engine_cache_hit_rate", False),
                      ("memo_hit_rate", False)], t)
-    compare_section(base, cur, "shards", "shards",
-                    [("jobs_per_sec", False)] + pct, t)
-    compare_section(base, cur, "budget", "shards",
-                    [("jobs_per_sec", False)] + pct, t)
+    if same_machine:
+        # speedup guards shard scaling itself; total_queries guards the
+        # query-neutrality of the sharded search (steal binds and claim
+        # races must not inflate checker work).
+        compare_section(base, cur, "shards", "shards",
+                        [("jobs_per_sec", False), ("speedup", False),
+                         ("total_queries", True)] + pct, t)
+        compare_section(base, cur, "budget", "shards",
+                        [("jobs_per_sec", False)] + pct, t)
     compare_section(base, cur, "learning", "mode",
                     [("jobs_per_sec", False),
                      ("total_queries", True)], t)
     # The obs overhead modes: a jobs/sec drop in "off" is an overhead
-    # regression of the always-on tier; drops in "metrics"/"trace" price
-    # the optional tiers. Phases compare per (section, param) pair via a
-    # composite label; thread-second increases are regressions.
+    # regression of the always-on tier; overhead_pct rises in
+    # "metrics"/"trace" price the optional tiers directly (relative to
+    # the same-run "off" pass, so it is machine-noise resistant).
+    # Phases compare per (section, param) pair via a composite label;
+    # thread-second increases are regressions.
     compare_section(base, cur, "obs", "mode",
-                    [("jobs_per_sec", False)], t)
+                    [("jobs_per_sec", False),
+                     ("overhead_pct", True)], t)
     for doc in (base, cur):
         for p in doc.get("phases", []):
             if isinstance(p, dict) and "section" in p and "param" in p:
@@ -148,7 +179,11 @@ def main():
     compare_section(base, cur, "phases", "_phase_key",
                     [("check_s", True), ("mutate_s", True),
                      ("prune_s", True), ("sat_s", True)], t)
-    note("comparison complete")
+    note(f"comparison complete: {len(REGRESSIONS)} regression(s) beyond "
+         f"{t * 100:.0f}%")
+    if REGRESSIONS and os.environ.get("NETUPD_BENCH_TREND_ENFORCE") == "1":
+        note("NETUPD_BENCH_TREND_ENFORCE=1: failing the gate")
+        return 1
     return 0
 
 

@@ -13,23 +13,48 @@
 using namespace netupd;
 using namespace netupd::bdd;
 
-Manager::Manager(unsigned NumVars) : NumVars(NumVars) {
+Manager::Manager(unsigned NumVars, Arena *NodeArena)
+    : NumVars(NumVars),
+      OwnArena(NodeArena ? nullptr : std::make_unique<Arena>()),
+      Nodes(NodeArena ? *NodeArena : *OwnArena) {
   // Slots 0 and 1 are the terminals; their fields are never read.
   Nodes.push_back(Node{TerminalVar, False, False});
   Nodes.push_back(Node{TerminalVar, True, True});
+}
+
+void Manager::growUnique() {
+  size_t NewSize = Unique.empty() ? 1024 : Unique.size() * 2;
+  std::vector<UniqueSlot> Old = std::move(Unique);
+  Unique.assign(NewSize, UniqueSlot{});
+  size_t Mask = NewSize - 1;
+  for (const UniqueSlot &S : Old) {
+    if (S.Var == TerminalVar)
+      continue;
+    size_t I = hashTriple(S.Var, S.Lo, S.Hi) & Mask;
+    while (Unique[I].Var != TerminalVar)
+      I = (I + 1) & Mask;
+    Unique[I] = S;
+  }
 }
 
 NodeRef Manager::mk(unsigned V, NodeRef Lo, NodeRef Hi) {
   assert(V < NumVars && "variable out of range");
   if (Lo == Hi)
     return Lo; // Redundant test.
-  auto Key = std::make_tuple(V, Lo, Hi);
-  auto It = Unique.find(Key);
-  if (It != Unique.end())
-    return It->second;
+  if (Unique.empty() || UniqueCount * 10 >= Unique.size() * 7)
+    growUnique();
+  size_t Mask = Unique.size() - 1;
+  size_t I = hashTriple(V, Lo, Hi) & Mask;
+  while (Unique[I].Var != TerminalVar) {
+    const UniqueSlot &S = Unique[I];
+    if (S.Var == V && S.Lo == Lo && S.Hi == Hi)
+      return S.Out;
+    I = (I + 1) & Mask;
+  }
   Nodes.push_back(Node{V, Lo, Hi});
   NodeRef Ref = static_cast<NodeRef>(Nodes.size()) - 1;
-  Unique.emplace(Key, Ref);
+  Unique[I] = UniqueSlot{V, Lo, Hi, Ref};
+  ++UniqueCount;
   return Ref;
 }
 
@@ -37,6 +62,21 @@ NodeRef Manager::cofactor(NodeRef F, unsigned V, bool Value) const {
   if (F <= True || Nodes[F].Var != V)
     return F;
   return Value ? Nodes[F].Hi : Nodes[F].Lo;
+}
+
+void Manager::growIte() {
+  size_t NewSize = IteCache.empty() ? 1024 : IteCache.size() * 2;
+  std::vector<IteSlot> Old = std::move(IteCache);
+  IteCache.assign(NewSize, IteSlot{});
+  size_t Mask = NewSize - 1;
+  for (const IteSlot &S : Old) {
+    if (S.F == EmptyRef)
+      continue;
+    size_t I = hashTriple(S.F, S.G, S.H) & Mask;
+    while (IteCache[I].F != EmptyRef)
+      I = (I + 1) & Mask;
+    IteCache[I] = S;
+  }
 }
 
 NodeRef Manager::ite(NodeRef F, NodeRef G, NodeRef H) {
@@ -50,10 +90,16 @@ NodeRef Manager::ite(NodeRef F, NodeRef G, NodeRef H) {
   if (G == True && H == False)
     return F;
 
-  auto Key = std::make_tuple(F, G, H);
-  auto It = IteCache.find(Key);
-  if (It != IteCache.end())
-    return It->second;
+  if (IteCache.empty() || IteCount * 10 >= IteCache.size() * 7)
+    growIte();
+  size_t Mask = IteCache.size() - 1;
+  size_t I = hashTriple(F, G, H) & Mask;
+  while (IteCache[I].F != EmptyRef) {
+    const IteSlot &S = IteCache[I];
+    if (S.F == F && S.G == G && S.H == H)
+      return S.Out;
+    I = (I + 1) & Mask;
+  }
 
   unsigned V = std::min({varOf(F), varOf(G), varOf(H)});
   NodeRef Lo = ite(cofactor(F, V, false), cofactor(G, V, false),
@@ -61,7 +107,18 @@ NodeRef Manager::ite(NodeRef F, NodeRef G, NodeRef H) {
   NodeRef Hi =
       ite(cofactor(F, V, true), cofactor(G, V, true), cofactor(H, V, true));
   NodeRef Out = mk(V, Lo, Hi);
-  IteCache.emplace(Key, Out);
+
+  // The recursive calls may have grown the cache; re-probe for the slot.
+  Mask = IteCache.size() - 1;
+  I = hashTriple(F, G, H) & Mask;
+  while (IteCache[I].F != EmptyRef) {
+    const IteSlot &S = IteCache[I];
+    if (S.F == F && S.G == G && S.H == H)
+      return S.Out;
+    I = (I + 1) & Mask;
+  }
+  IteCache[I] = IteSlot{F, G, H, Out};
+  ++IteCount;
   return Out;
 }
 
@@ -72,7 +129,8 @@ NodeRef Manager::existsRec(NodeRef F, const std::vector<uint8_t> &VarSet,
   auto It = Memo.find(F);
   if (It != Memo.end())
     return It->second;
-  // Copy the fields: orOp/mk below may reallocate Nodes.
+  // Copy the fields: orOp/mk below may add nodes (addresses are stable,
+  // but keeping the copy makes the code robust to storage changes).
   Node Nd = Nodes[F];
   NodeRef Lo = existsRec(Nd.Lo, VarSet, Memo);
   NodeRef Hi = existsRec(Nd.Hi, VarSet, Memo);

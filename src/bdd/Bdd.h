@@ -16,14 +16,24 @@
 /// Nodes are never garbage collected — the checker builds a manager per
 /// query, which keeps lifetimes trivial and matches the batch usage.
 ///
+/// Storage: nodes live in an arena-backed ChunkedVector (stable
+/// addresses, no realloc copy), and the unique/ite tables are flat
+/// open-addressed arrays — no per-node or per-cache-entry heap
+/// allocations. A caller that owns an Arena (the symbolic checker keeps
+/// one per checker instance) passes it in and reset()s it between
+/// queries, so steady-state query N allocates nothing: it carves the
+/// chunks recycled from query N-1.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NETUPD_BDD_BDD_H
 #define NETUPD_BDD_BDD_H
 
+#include "support/Arena.h"
+
 #include <cstddef>
 #include <cstdint>
-#include <tuple>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -40,7 +50,10 @@ inline constexpr NodeRef True = 1;
 /// diagram: smaller index = closer to the root.
 class Manager {
 public:
-  explicit Manager(unsigned NumVars);
+  /// \p NodeArena, when given, backs node storage; the manager must be
+  /// destroyed (or no longer used) before the arena is reset. Without
+  /// one the manager owns a private arena.
+  explicit Manager(unsigned NumVars, Arena *NodeArena = nullptr);
 
   unsigned numVars() const { return NumVars; }
 
@@ -90,32 +103,37 @@ private:
   static constexpr unsigned TerminalVar = ~0u;
 
   unsigned NumVars;
-  std::vector<Node> Nodes;
+  /// Private arena when the caller did not supply one.
+  std::unique_ptr<Arena> OwnArena;
+  ChunkedVector<Node, 1024> Nodes;
 
-  struct TripleHash {
-    size_t operator()(const std::tuple<unsigned, NodeRef, NodeRef> &T) const {
-      auto [V, L, H] = T;
-      uint64_t X = (uint64_t(V) << 40) ^ (uint64_t(L) << 20) ^ H;
-      X *= 0x9e3779b97f4a7c15ull;
-      return static_cast<size_t>(X ^ (X >> 29));
-    }
+  /// Open-addressed unique table: (Var, Lo, Hi) -> node. Var ==
+  /// TerminalVar marks an empty slot (mk never files terminals).
+  struct UniqueSlot {
+    unsigned Var = TerminalVar;
+    NodeRef Lo = 0, Hi = 0, Out = 0;
   };
-  std::unordered_map<std::tuple<unsigned, NodeRef, NodeRef>, NodeRef,
-                     TripleHash>
-      Unique;
+  std::vector<UniqueSlot> Unique;
+  size_t UniqueCount = 0;
 
-  struct IteKeyHash {
-    size_t operator()(
-        const std::tuple<NodeRef, NodeRef, NodeRef> &T) const {
-      auto [F, G, H] = T;
-      uint64_t X = (uint64_t(F) << 42) ^ (uint64_t(G) << 21) ^ H;
-      X *= 0xbf58476d1ce4e5b9ull;
-      return static_cast<size_t>(X ^ (X >> 31));
-    }
+  static size_t hashTriple(uint64_t A, uint64_t B, uint64_t C) {
+    uint64_t X = (A << 40) ^ (B << 20) ^ C;
+    X *= 0x9e3779b97f4a7c15ull;
+    return static_cast<size_t>(X ^ (X >> 29));
+  }
+
+  /// Open-addressed computed cache: (F, G, H) -> ite result. F ==
+  /// EmptyRef marks an empty slot (operands are always live refs).
+  static constexpr NodeRef EmptyRef = ~NodeRef(0);
+  struct IteSlot {
+    NodeRef F = EmptyRef;
+    NodeRef G = 0, H = 0, Out = 0;
   };
-  std::unordered_map<std::tuple<NodeRef, NodeRef, NodeRef>, NodeRef,
-                     IteKeyHash>
-      IteCache;
+  std::vector<IteSlot> IteCache;
+  size_t IteCount = 0;
+
+  void growUnique();
+  void growIte();
 };
 
 } // namespace bdd

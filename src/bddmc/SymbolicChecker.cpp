@@ -33,9 +33,9 @@ struct VarLayout {
 /// The per-query symbolic model.
 class SymbolicModel {
 public:
-  SymbolicModel(KripkeStructure &K, const Closure &Cl)
+  SymbolicModel(KripkeStructure &K, const Closure &Cl, Arena &NodeArena)
       : K(K), Cl(Cl), Layout{bitsFor(K.numStates()), Cl.size()},
-        M(Layout.total()) {}
+        M(Layout.total(), &NodeArena) {}
 
   /// Runs the check; fills Cex with a violating trace when it fails.
   bool check(std::vector<StateId> &Cex);
@@ -296,7 +296,10 @@ CheckResult SymbolicChecker::checkNow() {
   }
 
   Closure Cl(Phi);
-  SymbolicModel Model(*K, Cl);
+  // Nothing from the previous query's manager is live; recycle its
+  // node chunks.
+  QueryArena.reset();
+  SymbolicModel Model(*K, Cl, QueryArena);
   std::vector<StateId> Cex;
   R.Holds = Model.check(Cex);
   R.Cex = std::move(Cex);

@@ -34,6 +34,7 @@
 #define NETUPD_BDDMC_SYMBOLICCHECKER_H
 
 #include "mc/CheckerBackend.h"
+#include "support/Arena.h"
 
 namespace netupd {
 
@@ -56,6 +57,12 @@ private:
   KripkeStructure *K = nullptr;
   Formula Phi = nullptr;
   size_t PeakNodes = 0;
+
+  /// Backs the per-query BDD manager's node storage; reset at the start
+  /// of every query (the previous query's manager is gone by then), so
+  /// consecutive queries recycle the same chunks instead of touching
+  /// the global allocator.
+  Arena QueryArena;
 };
 
 } // namespace netupd

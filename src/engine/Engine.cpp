@@ -362,8 +362,9 @@ void SynthEngine::executeJob(detail::JobState &St) {
   static obs::Histogram &JobLatency = MR.histogram("engine.job_ns");
   static obs::Counter &JobsDone = MR.counter("engine.jobs_completed");
   static obs::Counter &JobsCached = MR.counter("engine.jobs_from_cache");
+  uint64_t QueueNs = St.EnqueuedNs ? obs::nowNs() - St.EnqueuedNs : 0;
   if (St.EnqueuedNs)
-    QueueWait.record(obs::nowNs() - St.EnqueuedNs);
+    QueueWait.record(QueueNs);
 
   obs::TraceSpan Span("engine.job");
   Timer JobClock;
@@ -408,6 +409,7 @@ void SynthEngine::executeJob(detail::JobState &St) {
     Rep = runOneJob(St.Job, St.Index, Stop);
   }
 
+  Rep.QueueSeconds = QueueNs / 1e9;
   JobsDone.add();
   if (Rep.FromCache)
     JobsCached.add();

@@ -111,8 +111,14 @@ struct SynthReport {
   SynthResult Result;
   /// Name of the member that produced Result.
   std::string Winner;
-  /// Wall-clock for the whole job (all members, including losers).
+  /// Wall-clock for the whole job (all members, including losers),
+  /// measured from when a worker picked the job up — on-CPU time, not
+  /// including the queue.
   double Seconds = 0.0;
+  /// Wall-clock the job spent queued before a worker picked it up.
+  /// Kept apart from Seconds so load-induced queueing never inflates
+  /// per-job latency figures (bench sweeps report both).
+  double QueueSeconds = 0.0;
   std::vector<MemberOutcome> Members;
   /// True when the engine served this report from its result cache: an
   /// earlier digest-identical job already ran, Result/Winner are that

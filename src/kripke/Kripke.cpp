@@ -88,17 +88,26 @@ std::string KripkeStructure::stateName(StateId S) const {
 }
 
 std::vector<StateId> KripkeStructure::computeSuccs(StateId S) const {
+  std::vector<StateId> Next;
+  computeSuccs(S, Next);
+  return Next;
+}
+
+void KripkeStructure::computeSuccs(StateId S,
+                                   std::vector<StateId> &Next) const {
+  Next.clear();
   const LocalState &L = Locs[localOf(S)];
   unsigned ClassIdx = stateClass(S);
 
   // Egress states only self-loop (case 4 of Def. 9).
-  if (L.R == Role::Egress)
-    return {S};
+  if (L.R == Role::Egress) {
+    Next.push_back(S);
+    return;
+  }
 
   const Header &Hdr = Classes[ClassIdx].Hdr;
   std::vector<Output> Outs = Cfg.table(L.Sw).apply(Hdr, L.Pt);
 
-  std::vector<StateId> Next;
   for (const Output &O : Outs) {
     // The Kripke encoding keeps traffic classes disjoint (§3.3: packet
     // modification is future work), so tables must preserve headers here.
@@ -126,7 +135,6 @@ std::vector<StateId> KripkeStructure::computeSuccs(StateId S) const {
   // complete.
   if (Next.empty())
     Next.push_back(S);
-  return Next;
 }
 
 void KripkeStructure::setSuccs(StateId S, std::vector<StateId> NewSuccs) {
@@ -148,12 +156,22 @@ void KripkeStructure::recomputeSwitch(
   for (unsigned Local : SwitchArrivals[Sw]) {
     for (unsigned C = 0; C != numClasses(); ++C) {
       StateId S = stateAt(C, Local);
-      std::vector<StateId> New = computeSuccs(S);
-      if (New == Succs[S])
+      computeSuccs(S, ScratchSuccs);
+      if (ScratchSuccs == Succs[S])
         continue;
-      OldEdges.emplace_back(S, Succs[S]);
+      // Unhook S from its old successors' pred lists, swap the new list
+      // in, and donate the old list — buffer and all — to the undo log.
+      for (StateId Old : Succs[S]) {
+        auto &P = Preds[Old];
+        auto It = std::find(P.begin(), P.end(), S);
+        if (It != P.end())
+          P.erase(It);
+      }
+      std::swap(Succs[S], ScratchSuccs);
+      for (StateId New : Succs[S])
+        Preds[New].push_back(S);
+      OldEdges.emplace_back(S, std::move(ScratchSuccs));
       ChangedStates.push_back(S);
-      setSuccs(S, std::move(New));
     }
   }
 }
@@ -162,9 +180,17 @@ KripkeStructure::UndoRecord
 KripkeStructure::applySwitchUpdate(SwitchId Sw, const Table &NewTable,
                                    std::vector<StateId> &ChangedStates) {
   UndoRecord Undo;
+  applySwitchUpdate(Sw, NewTable, ChangedStates, Undo);
+  return Undo;
+}
+
+void KripkeStructure::applySwitchUpdate(SwitchId Sw, const Table &NewTable,
+                                        std::vector<StateId> &ChangedStates,
+                                        UndoRecord &Undo) {
   Undo.Sw = Sw;
   Undo.OldTable = Cfg.table(Sw);
   Undo.OldTableDigest = TableDigests[Sw];
+  Undo.OldEdges.clear();
   Cfg.setTable(Sw, NewTable);
 
   CfgXor ^= configSlotDigest(Sw, TableDigests[Sw]);
@@ -172,7 +198,6 @@ KripkeStructure::applySwitchUpdate(SwitchId Sw, const Table &NewTable,
   CfgXor ^= configSlotDigest(Sw, TableDigests[Sw]);
 
   recomputeSwitch(Sw, Undo.OldEdges, ChangedStates);
-  return Undo;
 }
 
 void KripkeStructure::undo(const UndoRecord &Undo) {
@@ -184,6 +209,17 @@ void KripkeStructure::undo(const UndoRecord &Undo) {
 
   for (const auto &[S, Old] : Undo.OldEdges)
     setSuccs(S, Old);
+}
+
+void KripkeStructure::undo(UndoRecord &&Undo) {
+  Cfg.setTable(Undo.Sw, std::move(Undo.OldTable));
+
+  CfgXor ^= configSlotDigest(Undo.Sw, TableDigests[Undo.Sw]);
+  TableDigests[Undo.Sw] = Undo.OldTableDigest;
+  CfgXor ^= configSlotDigest(Undo.Sw, TableDigests[Undo.Sw]);
+
+  for (auto &[S, Old] : Undo.OldEdges)
+    setSuccs(S, std::move(Old));
 }
 
 std::optional<std::vector<StateId>>

@@ -120,8 +120,21 @@ public:
   UndoRecord applySwitchUpdate(SwitchId Sw, const Table &NewTable,
                                std::vector<StateId> &ChangedStates);
 
+  /// As above, but records into the caller-owned \p Undo, clearing and
+  /// reusing its buffers. The DFS keeps one UndoRecord per depth and
+  /// recycles it across candidates, so the apply/undo cycle on the
+  /// search hot path allocates nothing in steady state.
+  void applySwitchUpdate(SwitchId Sw, const Table &NewTable,
+                         std::vector<StateId> &ChangedStates,
+                         UndoRecord &Undo);
+
   /// Restores the configuration and edges saved in \p Undo.
   void undo(const UndoRecord &Undo);
+
+  /// As above, but donates \p Undo's buffers back into the structure
+  /// (the saved table and edge lists are moved, not copied). The record
+  /// stays valid for reuse by the next recording applySwitchUpdate.
+  void undo(UndoRecord &&Undo);
 
   /// Checks DAG-likeness: every cycle is a sink self-loop. Returns the
   /// states of a forwarding loop if one exists (the configuration is then
@@ -153,6 +166,9 @@ private:
   /// Computes the successor list of an arrival state under the current
   /// config.
   std::vector<StateId> computeSuccs(StateId S) const;
+  /// Same, filling the caller's \p Next (cleared first) so a hot loop
+  /// can reuse one buffer across states.
+  void computeSuccs(StateId S, std::vector<StateId> &Next) const;
 
   /// Recomputes edges of all arrival states of switch \p Sw, appending
   /// undo entries and changed states.
@@ -162,6 +178,10 @@ private:
                        std::vector<StateId> &ChangedStates);
 
   void setSuccs(StateId S, std::vector<StateId> NewSuccs);
+
+  /// Scratch buffer for recomputeSwitch's successor computation; reused
+  /// across states and mutations.
+  std::vector<StateId> ScratchSuccs;
 
   const Topology &Topo;
   Config Cfg;

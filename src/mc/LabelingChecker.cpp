@@ -30,6 +30,7 @@ CheckResult LabelingChecker::bindImpl(KripkeStructure &Structure, Formula Phi) {
   DoneStamp.assign(K->numStates(), 0);
   AncestorStamp.assign(K->numStates(), 0);
   InHeapStamp.assign(K->numStates(), 0);
+  PosOf.assign(K->numStates(), 0);
   Stamp = 0;
   return fullCheck();
 }
@@ -130,7 +131,8 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
   // it by reverse DFS, then topologically order the induced subgraph so
   // children are relabeled before parents (the relbl function of §5).
   ++Stamp;
-  std::vector<StateId> Ancestors;
+  std::vector<StateId> &Ancestors = ScratchAncestors;
+  Ancestors.clear();
   {
     std::vector<StateId> Stack(Changed.begin(), Changed.end());
     for (StateId S : Changed)
@@ -150,7 +152,8 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
 
   // Post-order DFS within the ancestor set (following successor edges
   // restricted to the set) yields children-first positions.
-  std::vector<StateId> Order;
+  std::vector<StateId> &Order = ScratchOrder;
+  Order.clear();
   Order.reserve(Ancestors.size());
   {
     std::vector<std::pair<StateId, size_t>> Stack;
@@ -176,10 +179,10 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
       }
     }
   }
-  std::unordered_map<StateId, uint32_t> Pos;
-  Pos.reserve(Order.size());
+  // Positions live in the stamp-validated PosOf array (DoneStamp ==
+  // Stamp marks membership in Order), not a per-query hash map.
   for (uint32_t I = 0; I != Order.size(); ++I)
-    Pos[Order[I]] = I;
+    PosOf[Order[I]] = I;
 
   // Relabel, children first, stopping as soon as a label is unchanged.
   using Entry = std::pair<uint32_t, StateId>;
@@ -188,7 +191,7 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
     if (InHeapStamp[S] == Stamp)
       continue;
     InHeapStamp[S] = Stamp;
-    Heap.emplace(Pos[S], S);
+    Heap.emplace(PosOf[S], S);
   }
 
   while (!Heap.empty()) {
@@ -203,7 +206,7 @@ LabelingChecker::incrementalCheck(const std::vector<StateId> &Changed) {
       if (P == S || InHeapStamp[P] == Stamp)
         continue;
       InHeapStamp[P] = Stamp;
-      Heap.emplace(Pos[P], P);
+      Heap.emplace(PosOf[P], P);
     }
   }
 

@@ -101,6 +101,13 @@ private:
   /// path never touches memory proportional to the whole structure.
   std::vector<uint32_t> GrayStamp, DoneStamp, AncestorStamp, InHeapStamp;
   uint32_t Stamp = 0;
+
+  /// Topological position of each state within the current relabel
+  /// region; valid where DoneStamp == Stamp. Replaces a per-query
+  /// unordered_map that dominated the prune-path allocation profile.
+  std::vector<uint32_t> PosOf;
+  /// Scratch buffers reused across incremental queries.
+  std::vector<StateId> ScratchAncestors, ScratchOrder;
 };
 
 } // namespace netupd

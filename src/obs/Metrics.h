@@ -79,7 +79,11 @@ private:
 /// A fixed-bucket latency histogram over nanosecond samples. Buckets are
 /// powers of two: bucket 0 holds the value 0, bucket i >= 1 holds values
 /// whose bit width is i, i.e. [2^(i-1), 2^i). Recording is two relaxed
-/// fetch_adds; percentile estimation walks the 64 buckets and returns the
+/// fetch_adds on a cache-line-padded per-thread stripe, so concurrent
+/// shards never bounce a bucket line between cores; readers aggregate
+/// the stripes, and every derived figure (count, sum, percentiles — and
+/// therefore snapshotJson) is identical to the unstriped layout's.
+/// Percentile estimation walks the 64 buckets and returns the
 /// containing bucket's upper bound, so estimates are exact to within 2x —
 /// plenty to tell a 10us check from a 1ms one, which is what the daemon
 /// and the bench phase tables need. Exact bench percentiles (p50/p95/p99
@@ -90,8 +94,9 @@ public:
   static constexpr unsigned NumBuckets = 64;
 
   void record(uint64_t Ns) {
-    Buckets[bucketOf(Ns)].fetch_add(1, std::memory_order_relaxed);
-    Sum.fetch_add(Ns, std::memory_order_relaxed);
+    Stripe &S = Stripes[stripeIndex()];
+    S.Buckets[bucketOf(Ns)].fetch_add(1, std::memory_order_relaxed);
+    S.Sum.fetch_add(Ns, std::memory_order_relaxed);
   }
   void recordSeconds(double S) {
     record(S <= 0 ? 0 : static_cast<uint64_t>(S * 1e9));
@@ -99,13 +104,22 @@ public:
 
   uint64_t count() const {
     uint64_t N = 0;
-    for (const auto &B : Buckets)
-      N += B.load(std::memory_order_relaxed);
+    for (const Stripe &S : Stripes)
+      for (const auto &B : S.Buckets)
+        N += B.load(std::memory_order_relaxed);
     return N;
   }
-  uint64_t sumNs() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t sumNs() const {
+    uint64_t N = 0;
+    for (const Stripe &S : Stripes)
+      N += S.Sum.load(std::memory_order_relaxed);
+    return N;
+  }
   uint64_t bucketCount(unsigned I) const {
-    return Buckets[I].load(std::memory_order_relaxed);
+    uint64_t N = 0;
+    for (const Stripe &S : Stripes)
+      N += S.Buckets[I].load(std::memory_order_relaxed);
+    return N;
   }
 
   /// The bucket index a sample of \p Ns lands in.
@@ -128,10 +142,13 @@ public:
   /// Upper bound (ns) of the bucket holding the \p P quantile,
   /// P in [0, 1]; 0 when the histogram is empty.
   uint64_t percentileNs(double P) const {
-    uint64_t Counts[NumBuckets];
+    uint64_t Counts[NumBuckets] = {};
     uint64_t Total = 0;
+    for (const Stripe &S : Stripes)
+      for (unsigned I = 0; I < NumBuckets; ++I)
+        Counts[I] += S.Buckets[I].load(std::memory_order_relaxed);
     for (unsigned I = 0; I < NumBuckets; ++I)
-      Total += Counts[I] = Buckets[I].load(std::memory_order_relaxed);
+      Total += Counts[I];
     if (Total == 0)
       return 0;
     uint64_t Rank = static_cast<uint64_t>(P * static_cast<double>(Total));
@@ -147,14 +164,31 @@ public:
   }
 
   void reset() {
-    for (auto &B : Buckets)
-      B.store(0, std::memory_order_relaxed);
-    Sum.store(0, std::memory_order_relaxed);
+    for (Stripe &S : Stripes) {
+      for (auto &B : S.Buckets)
+        B.store(0, std::memory_order_relaxed);
+      S.Sum.store(0, std::memory_order_relaxed);
+    }
   }
 
 private:
-  std::atomic<uint64_t> Buckets[NumBuckets] = {};
-  std::atomic<uint64_t> Sum{0};
+  static constexpr unsigned NumStripes = 8;
+
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> Buckets[NumBuckets] = {};
+    std::atomic<uint64_t> Sum{0};
+  };
+
+  /// This thread's stripe slot: assigned round-robin on first use, so
+  /// the stripe pick is one thread_local read per record.
+  static unsigned stripeIndex() {
+    static std::atomic<unsigned> Next{0};
+    thread_local unsigned Slot =
+        Next.fetch_add(1, std::memory_order_relaxed) % NumStripes;
+    return Slot;
+  }
+
+  Stripe Stripes[NumStripes];
 };
 
 /// Acquires \p M, recording the time spent blocked into \p H when the

@@ -1,0 +1,187 @@
+//===- support/Arena.h - Bump allocation for search hot paths --*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for the per-shard hot paths of the synthesis
+/// search. The DFS allocates the same transient objects millions of times
+/// (BDD nodes, undo buffers, successor lists); routing them through the
+/// global allocator shows up directly as mutate/check thread-seconds once
+/// several shards contend on malloc's locks. An Arena is single-threaded
+/// by design — each shard owns one — so allocation is a pointer bump and
+/// release is a single reset() that recycles every chunk in place.
+///
+/// Ownership rule (see docs/ARCHITECTURE.md "Hot path & memory"): an
+/// arena may only be reset at points where nothing allocated from it is
+/// live. The search resets per-query pools between checker queries and
+/// keeps undo state in caller-owned recycled buffers (never in an arena
+/// that resets mid-DFS), so a reset can never free a live undo record.
+///
+/// ChunkedVector<T> is the arena's indexable companion: vector-like
+/// push_back/operator[] with storage carved from the arena in fixed
+/// chunks, so growth never reallocates-and-copies and element addresses
+/// are stable — the property the BDD manager needs for its node table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_SUPPORT_ARENA_H
+#define NETUPD_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace netupd {
+
+/// Chunked bump allocator; see file comment. Not thread-safe: one owner
+/// per arena.
+class Arena {
+public:
+  explicit Arena(size_t ChunkBytes = 1 << 16) : ChunkBytes(ChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Size bytes aligned to \p Align. Memory is uninitialized
+  /// and valid until reset() or destruction; there is no per-object free.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && "non-power-of-two");
+    uintptr_t P = (Cursor + Align - 1) & ~(uintptr_t(Align) - 1);
+    if (P + Size > End) {
+      refill(Size, Align);
+      P = (Cursor + Align - 1) & ~(uintptr_t(Align) - 1);
+    }
+    Cursor = P + Size;
+    Allocated += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Constructs a T in arena memory. The destructor is never run — only
+  /// use for trivially-destructible payloads or objects whose cleanup
+  /// the caller performs explicitly before reset().
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(A)...);
+  }
+
+  /// Rewinds every chunk for reuse. O(#chunks); capacity is kept, so a
+  /// steady-state search allocates from recycled memory only. Resetting
+  /// while arena objects are live is a caller bug (see ownership rule).
+  void reset() {
+    NextChunk = 0;
+    Allocated = 0;
+    if (Chunks.empty()) {
+      Cursor = End = 0;
+      return;
+    }
+    Cursor = reinterpret_cast<uintptr_t>(Chunks[0].Mem.get());
+    End = Cursor + Chunks[0].Bytes;
+    NextChunk = 1;
+  }
+
+  /// Bytes handed out since construction or the last reset().
+  size_t bytesAllocated() const { return Allocated; }
+  /// Bytes of chunk capacity owned (survives reset()).
+  size_t bytesReserved() const {
+    size_t N = 0;
+    for (const Chunk &C : Chunks)
+      N += C.Bytes;
+    return N;
+  }
+  size_t numChunks() const { return Chunks.size(); }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Bytes = 0;
+  };
+
+  void refill(size_t Size, size_t Align) {
+    // Reuse a recycled chunk when one is big enough; otherwise grow.
+    // Oversized requests get a dedicated chunk so ChunkBytes stays a
+    // tuning knob, not a limit.
+    size_t Need = Size + Align;
+    while (NextChunk < Chunks.size()) {
+      Chunk &C = Chunks[NextChunk++];
+      if (C.Bytes >= Need) {
+        Cursor = reinterpret_cast<uintptr_t>(C.Mem.get());
+        End = Cursor + C.Bytes;
+        return;
+      }
+    }
+    size_t Bytes = Need > ChunkBytes ? Need : ChunkBytes;
+    Chunks.push_back({std::unique_ptr<char[]>(new char[Bytes]), Bytes});
+    NextChunk = Chunks.size();
+    Cursor = reinterpret_cast<uintptr_t>(Chunks.back().Mem.get());
+    End = Cursor + Bytes;
+  }
+
+  size_t ChunkBytes;
+  std::vector<Chunk> Chunks;
+  /// Index of the first recycled chunk refill() has not yet reused.
+  size_t NextChunk = 0;
+  uintptr_t Cursor = 0;
+  uintptr_t End = 0;
+  size_t Allocated = 0;
+};
+
+/// An indexable sequence whose storage comes from an Arena in fixed-size
+/// chunks: push_back never moves existing elements (stable addresses,
+/// no realloc copy) and clear() is O(1) — the arena keeps the memory.
+/// ChunkSize must be a power of two.
+template <typename T, size_t ChunkSize = 1024> class ChunkedVector {
+  static_assert((ChunkSize & (ChunkSize - 1)) == 0,
+                "ChunkSize must be a power of two");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena-backed elements are never destroyed individually");
+
+public:
+  explicit ChunkedVector(Arena &A) : A(A) {}
+
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < N);
+    return Chunks[I / ChunkSize][I % ChunkSize];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < N);
+    return Chunks[I / ChunkSize][I % ChunkSize];
+  }
+
+  void push_back(const T &V) { *slot() = V; }
+  void push_back(T &&V) { *slot() = std::move(V); }
+
+  T &back() { return (*this)[N - 1]; }
+
+  /// Forgets every element; chunk pointers are kept so a following fill
+  /// reuses the same arena memory. Only sound when the owning arena has
+  /// NOT been reset since the chunks were carved (after an arena reset,
+  /// drop the container too).
+  void clear() { N = 0; }
+
+private:
+  T *slot() {
+    if (N == Chunks.size() * ChunkSize)
+      Chunks.push_back(
+          static_cast<T *>(A.allocate(sizeof(T) * ChunkSize, alignof(T))));
+    T *P = &Chunks[N / ChunkSize][N % ChunkSize];
+    ++N;
+    return P;
+  }
+
+  Arena &A;
+  std::vector<T *> Chunks;
+  size_t N = 0;
+};
+
+} // namespace netupd
+
+#endif // NETUPD_SUPPORT_ARENA_H

@@ -32,6 +32,23 @@
 // prunes, and since all units complete before a verdict is reached, every
 // skipped subtree has been fully explored by its claimant.
 //
+// Work-stealing (sharded non-budget mode): a depth-one split load-
+// balances badly when one unit dwarfs the rest, so shards that run out
+// of units steal below depth one. A shard exploring a shallow DFS node
+// may, instead of descending into a candidate child itself, publish a
+// descriptor (path from the root, candidate op, owning unit) on its
+// bounded deque; idle shards pop descriptors, replay the path on their
+// private structure (raw mutations, then one checker bind), and explore
+// the subtree with the normal claim/prune protocol. Soundness needs no
+// new machinery: a descriptor is published *instead of* the owner's
+// descent, and the exit protocol (a shard leaves only when every deque
+// is empty and no worker is active — and every pusher drains its own
+// deque before leaving) guarantees each published subtree is eventually
+// explored by exactly whoever reaches it, with the V claims arbitrating
+// duplication exactly as for units. Verdicts stay scheduling-
+// independent for the same reason sharding's are; deterministic budget
+// mode never steals (unit-local state cannot be handed across shards).
+//
 // Deterministic budget mode (a finite MaxCheckCalls/UnitCheckCalls)
 // trades the shared pruning state for reproducibility: cross-shard
 // sharing makes *which* prefixes a unit explores depend on sibling
@@ -65,6 +82,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -109,6 +128,58 @@ obs::Histogram &mutateLatency() {
       obs::MetricsRegistry::instance().histogram("synth.mutate_ns");
   return H;
 }
+
+/// A running phase timeline for one shard: every switchTo(Acc) reads
+/// the clock once, attributing the elapsed slice to the *previous*
+/// phase, and switching to the phase already open is free. One clock
+/// spans the whole unit (the recursion included), so a run of
+/// consecutive pruned candidates — the bulk of a deep exhaustive proof —
+/// extends one open "prune" slice with zero clock reads; only real
+/// phase transitions pay. Against one PhaseScope per phase (two reads
+/// each), a full candidate costs ~4 reads and a pruned one none — the
+/// reads were the dominant share of the metrics tier's 43% overhead on
+/// prune-heavy workloads. Inert when unarmed.
+class PhaseClock {
+public:
+  explicit PhaseClock(bool Armed) : On(Armed) {}
+  ~PhaseClock() { stop(); }
+  PhaseClock(const PhaseClock &) = delete;
+  PhaseClock &operator=(const PhaseClock &) = delete;
+
+  /// Closes the current phase slice into its accumulator and opens a new
+  /// one into \p Acc. Returns the closed slice's duration (0 unarmed or
+  /// when \p Acc is already the open phase — callers that use the
+  /// duration always switch to a *different* phase).
+  uint64_t switchTo(uint64_t &Acc) {
+    if (!On || Cur == &Acc)
+      return 0;
+    uint64_t Now = obs::nowNs();
+    uint64_t D = Cur ? Now - Last : 0;
+    if (Cur)
+      *Cur += D;
+    Last = Now;
+    Cur = &Acc;
+    return D;
+  }
+
+  /// Closes the current slice without opening a new one (e.g. before
+  /// recursing — the child runs its own timeline). Returns its duration.
+  uint64_t stop() {
+    if (!On || !Cur)
+      return 0;
+    uint64_t Now = obs::nowNs();
+    uint64_t D = Now - Last;
+    *Cur += D;
+    Last = Now;
+    Cur = nullptr;
+    return D;
+  }
+
+private:
+  bool On;
+  uint64_t Last = 0;
+  uint64_t *Cur = nullptr;
+};
 
 /// One search operation: replace switch Sw's whole table (ClassIdx = -1,
 /// switch granularity) or only its rules for one traffic class
@@ -170,6 +241,55 @@ Table opResultTable(const Table &Current, const Table &FinalT,
   return Table(std::move(Rules));
 }
 
+/// A subtree descriptor published for stealing: replay Path from the
+/// initial configuration, then explore candidate Cand from there, on
+/// behalf of top-level unit Unit.
+struct StealTask {
+  std::vector<unsigned> Path;
+  unsigned Cand = 0;
+  size_t Unit = 0;
+};
+
+/// A bounded mutex-guarded deque of steal tasks, one per shard. The
+/// owner pushes at (and pops from) the back, thieves pop from the
+/// front — so thieves take the shallowest, biggest subtrees while the
+/// owner reclaims its most recent offers. The bound keeps descriptors
+/// from piling up faster than they are consumed; a failed push just
+/// means the owner explores the candidate itself.
+class StealDeque {
+public:
+  bool tryPush(StealTask &&T) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Q.size() >= Cap)
+      return false;
+    Q.push_back(std::move(T));
+    return true;
+  }
+
+  bool tryPopBack(StealTask &T) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Q.empty())
+      return false;
+    T = std::move(Q.back());
+    Q.pop_back();
+    return true;
+  }
+
+  bool tryPopFront(StealTask &T) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Q.empty())
+      return false;
+    T = std::move(Q.front());
+    Q.pop_front();
+    return true;
+  }
+
+private:
+  static constexpr size_t Cap = 128;
+  std::mutex M;
+  std::deque<StealTask> Q;
+};
+
 /// Shard-shared state of one synthesis run; see the file comment.
 struct SearchContext {
   SearchContext(const Topology &Topo, const Config &Initial,
@@ -209,49 +329,55 @@ struct SearchContext {
   /// !Deterministic.
   BudgetLedger Ledger;
 
-  // Pruning state, one representation per mode: grow-only either way,
-  // so the concurrent variants are shareable (see ConcurrentSet.h).
-  std::unordered_set<Bitset, BitsetHash> SeqVisited;   // V of Fig. 4.
-  std::vector<std::pair<Bitset, Bitset>> SeqWrong;     // W: (mask, value).
+  // Pruning state. V keeps one representation per mode (the striped
+  // claim table costs locks a single-shard run must not pay); W is one
+  // watch-indexed container for both modes — its probes and CAS appends
+  // are lock-free, so they cost a single-shard run nothing either.
+  FlatBitsetSet SeqVisited;             // V of Fig. 4 (one shard).
   ConcurrentSet<Bitset, BitsetHash> ParVisited;
-  SharedAppendList<std::pair<Bitset, Bitset>> ParWrong;
+  /// W of Fig. 4: (mask, value) refutations, filed under the first set
+  /// bit of value so a probe touches only entries that could match
+  /// (ConcurrentSet.h). reset() after buildOps, before any searcher.
+  WatchedWrongSet Wrong;
 
-  /// A cheap pre-filter (a stale false is fine; insert() arbitrates).
-  bool visitedContains(const Bitset &B) const {
-    return Sharded ? ParVisited.contains(B) : SeqVisited.count(B) != 0;
-  }
   /// The claim: true for exactly one caller per configuration.
   bool visitedClaim(const Bitset &B) {
-    return Sharded ? ParVisited.insert(B) : SeqVisited.insert(B).second;
+    return Sharded ? ParVisited.insert(B) : SeqVisited.insert(B);
   }
-  bool matchesWrong(const Bitset &Bits) const {
-    if (!Sharded)
-      return matchesAny(SeqWrong, Bits);
-    return ParWrong.any([&](const std::pair<Bitset, Bitset> &Entry) {
-      return entryMatches(Entry, Bits);
-    });
-  }
-  void addWrong(std::pair<Bitset, Bitset> Entry) {
-    if (Sharded)
-      ParWrong.append(std::move(Entry));
-    else
-      SeqWrong.push_back(std::move(Entry));
+  bool matchesWrong(const Bitset &Bits) const { return Wrong.matches(Bits); }
+  void addWrong(Bitset Mask, Bitset Value) {
+    Wrong.add(std::move(Mask), std::move(Value));
   }
 
   /// Wrong-set entries imported from the cross-job ConstraintStore:
-  /// fixed before any searcher runs and immutable afterwards, so every
-  /// shard scans it without synchronization (and a single-shard run
-  /// pays no locking for it either). Always empty in deterministic
-  /// budget mode, which never imports (see runSearch).
-  std::vector<std::pair<Bitset, Bitset>> SeedWrong;
+  /// filled before any searcher runs and immutable afterwards. The
+  /// watch-list indexing is what keeps large seeded stores cheap to
+  /// consult: a probe walks only the entries watching one of the
+  /// configuration's set bits, O(relevant) instead of O(all). Always
+  /// empty in deterministic budget mode, which never imports (see
+  /// runSearch).
+  WatchedWrongSet SeedWrong;
   /// True when this run publishes its learned entries on retirement;
   /// budget-mode searchers then keep their unit-local entries for the
   /// export instead of dropping them with the unit.
   bool ExportLearning = false;
 
   bool matchesSeed(const Bitset &Bits) const {
-    return matchesAny(SeedWrong, Bits);
+    return SeedWrong.matches(Bits);
   }
+
+  /// Work-stealing state (sharded non-budget mode only; see the file
+  /// comment). One bounded deque per shard; a shard pushes only to its
+  /// own — takeTask scans it first, so a pusher drains its own offers
+  /// before it may exit, which is what keeps published subtrees from
+  /// being stranded. ActiveWorkers counts shards currently holding work
+  /// (a unit or a stolen task) plus shards mid-scan; IdleShards lets
+  /// busy shards skip the publish when nobody could take it.
+  bool Stealing = false;
+  unsigned StealDepthLimit = 0;
+  std::vector<std::unique_ptr<StealDeque>> Deques;
+  std::atomic<unsigned> ActiveWorkers{0};
+  std::atomic<unsigned> IdleShards{0};
 
   EarlyTermination ET; // Internally synchronized; non-budget mode only.
 
@@ -389,9 +515,14 @@ void SearchContext::buildOps() {
 class ShardSearcher {
 public:
   ShardSearcher(SearchContext &Ctx, KripkeStructure &K,
-                CheckerBackend &Checker)
-      : Ctx(Ctx), K(K), Checker(Checker), Stop(Ctx.stopToken()) {
+                CheckerBackend &Checker, unsigned ShardIndex = 0)
+      : Ctx(Ctx), K(K), Checker(Checker), ShardIndex(ShardIndex),
+        Stop(Ctx.stopToken()) {
     Applied.resize(Ctx.Ops.size());
+    // One frame per possible depth, sized once: tryCandidate holds
+    // references into Frames across the recursive dfs() call, so the
+    // vector must never reallocate.
+    Frames.resize(Ctx.Ops.size() + 1);
   }
 
   /// Binds the checker to this shard's structure and runs the initial
@@ -405,17 +536,18 @@ public:
   }
 
   /// Pulls top-level units until they run out, the shard aborts, or a
-  /// sibling wins. Publishes this shard's sequence if it finds one.
+  /// sibling wins; then (stealing mode) turns thief and drains the
+  /// deques. Publishes this shard's sequence if it finds one.
   void runUnits() {
     for (;;) {
       if (AbortFlag)
         return; // Cause already recorded where the flag was set.
       if (Ctx.NextUnit.load(std::memory_order_relaxed) >=
           Ctx.OpOrder.size())
-        return; // Every unit claimed: nothing left for this shard, so a
-                // stop or an expired wall observed now must not taint
-                // the verdict — whether the search is exhaustive is
-                // decided by the shards that own the claimed units.
+        break;  // Every unit claimed: nothing left here but stealing —
+                // a stop or an expired wall observed now must not taint
+                // the verdict; whether the search is exhaustive is
+                // decided by the shards that own the claimed work.
       if (Stop.stopRequested()) {
         // A stop seen here leaves work units unexplored, so its cause
         // must be recorded: without a flag the verdict block would
@@ -426,31 +558,39 @@ public:
         return;
       }
       if (Ctx.softWallExpired()) {
-        // The soft hint's only firing point: between units, so a unit
-        // that starts always runs to its deterministic conclusion.
+        // The soft hint's only firing point: between units (and steal
+        // tasks), so a unit that starts always runs to its
+        // deterministic conclusion.
         Ctx.WallAbort.store(true, std::memory_order_relaxed);
         Ctx.Halt.requestStop();
         return;
       }
       size_t Unit = Ctx.NextUnit.fetch_add(1, std::memory_order_relaxed);
       if (Unit >= Ctx.OpOrder.size())
-        return; // Genuine exhaustion: every unit claimed.
+        break; // Genuine exhaustion: every unit claimed.
       if (Ctx.Deterministic &&
           Unit > Ctx.BestUnit.load(std::memory_order_relaxed))
         return; // A lower unit already won; everything from here on is
                 // outranked (units are pulled in increasing order).
+      if (Ctx.Stealing)
+        Ctx.ActiveWorkers.fetch_add(1, std::memory_order_acq_rel);
       beginUnit(Unit);
       bool Won;
       {
         obs::TraceSpan Span("synth.unit");
         Won = tryCandidate(Ctx.OpOrder[Unit]);
       }
+      Clock.stop(); // Inter-unit work (binds, waits) is not a phase.
       finishUnit();
+      if (Ctx.Stealing)
+        Ctx.ActiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
       if (Won) {
         Ctx.recordWinner(Unit, AppliedSeq);
         return; // Keep the final structure; no rollback.
       }
     }
+    if (Ctx.Stealing)
+      stealLoop();
   }
 
   SynthStats Stats;
@@ -514,7 +654,10 @@ private:
   }
 
   /// The recursive part of Fig. 4: try every remaining candidate from
-  /// the current configuration.
+  /// the current configuration. In stealing mode, shallow candidates
+  /// may be published for an idle sibling instead of descended into —
+  /// the claim protocol arbitrates duplication either way, so the
+  /// subtree is explored exactly once no matter who reaches it.
   bool dfs() {
     if (Applied.count() == Ctx.Ops.size())
       return true;
@@ -522,6 +665,10 @@ private:
       unsigned I = Ctx.OpOrder[CandIdx];
       if (Applied.test(I))
         continue;
+      if (Ctx.Stealing && AppliedSeq.size() <= Ctx.StealDepthLimit &&
+          Ctx.IdleShards.load(std::memory_order_relaxed) > 0 &&
+          offerSteal(I))
+        continue; // Someone else explores this edge; see stealLoop.
       if (tryCandidate(I))
         return true;
       if (AbortFlag || UnitStop)
@@ -532,13 +679,14 @@ private:
 
   /// The body of one DFS edge: prune, claim, apply op \p I, recheck,
   /// recurse, roll back. Returns true iff a full correct sequence was
-  /// completed below this edge.
+  /// completed below this edge. All scratch state lives in the depth's
+  /// DfsFrame, so the steady-state edge allocates nothing.
   bool tryCandidate(unsigned I) {
-    const bool Prof = obs::detailEnabled();
-    Bitset Next = Applied;
+    Clock.switchTo(PhasePruneNs); // Free if prune is already open.
+    DfsFrame &F = Frames[AppliedSeq.size()];
+    Bitset &Next = F.Next;
+    Next = Applied;
     Next.set(I);
-    {
-    PhaseScope PrunePs(Prof, PhasePruneNs);
     if (Ctx.Deterministic) {
       // Unit-local pruning: nothing another shard does can change which
       // prefixes this unit affords, so the charge sequence below is
@@ -547,7 +695,7 @@ private:
         ++Stats.CexPrunes;
         return false;
       }
-      if (!UnitVisited.insert(Next).second) {
+      if (!UnitVisited.insert(Next)) {
         ++Stats.VisitedPrunes;
         return false;
       }
@@ -571,15 +719,20 @@ private:
         return false;
       }
     } else {
-      if (Ctx.visitedContains(Next)) {
+      // The claim comes first: one striped-lock acquisition replaces
+      // the old contains-probe-then-insert pair (two acquisitions on
+      // the one path every explored edge takes). Losing the claim is
+      // the visited prune; winning it commits this shard to settling
+      // the configuration — by the W/seed refutations below (the entry
+      // proves the check would fail, so "settled" needs no descent) or
+      // by exploring it.
+      if (!Ctx.visitedClaim(Next)) {
         ++Stats.VisitedPrunes;
         return false;
       }
-      // Imported (cross-job) refutations first: each seeded prune skips
-      // a check an earlier digest-identical run already paid for. The
-      // entry is sound — the configuration would have failed its check —
-      // so, exactly like a run-local W prune, skipping it changes
-      // neither the verdict nor which sequences can complete.
+      // Imported (cross-job) refutations before run-local ones: each
+      // seeded prune skips a check an earlier digest-identical run
+      // already paid for.
       if (!Ctx.SeedWrong.empty() && Ctx.matchesSeed(Next)) {
         ++Stats.SeededPrunes;
         return false;
@@ -588,52 +741,55 @@ private:
         ++Stats.CexPrunes;
         return false;
       }
+      // A stop observed after the claim leaves the configuration
+      // claimed-but-unexplored, which is fine: noteStop records the
+      // abort cause, so the verdict block never mistakes this
+      // truncated run for an exhaustive proof.
       if (Stop.stopRequested()) {
         noteStop();
         return false;
       }
-      // The claim: exactly one shard wins this insert and explores the
-      // subtree; a loser counts a visited-prune exactly as if the
-      // subtree had been explored earlier in a sequential run.
-      if (!Ctx.visitedClaim(Next)) {
-        ++Stats.VisitedPrunes;
-        return false;
-      }
     }
-    } // PrunePs: probes, claims, and their checkpoints end here.
 
     const MicroOp &Op = Ctx.Ops[I];
     const Header *ClassHdr =
         Op.ClassIdx < 0
             ? nullptr
             : &Ctx.Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
-    std::vector<StateId> Changed;
-    Table NewTable;
-    KripkeStructure::UndoRecord Undo;
-    {
-      PhaseScope MutPs(Prof, PhaseMutateNs, Prof ? &mutateLatency() : nullptr);
-      NewTable = opResultTable(K.config().table(Op.Sw),
-                               Ctx.Final.table(Op.Sw), ClassHdr);
-      Undo = K.applySwitchUpdate(Op.Sw, NewTable, Changed);
+    Clock.switchTo(PhaseMutateNs);
+    // Switch-granularity ops install the final table verbatim: point at
+    // it instead of copying. Rule granularity composes a fresh slice
+    // into the frame's table (whose buffers the assignment reuses).
+    const Table *NewT;
+    if (ClassHdr) {
+      F.NewTable = opResultTable(K.config().table(Op.Sw),
+                                 Ctx.Final.table(Op.Sw), ClassHdr);
+      NewT = &F.NewTable;
+    } else {
+      NewT = &Ctx.Final.table(Op.Sw);
     }
+    F.Changed.clear();
+    K.applySwitchUpdate(Op.Sw, *NewT, F.Changed, F.Undo);
+    uint64_t ApplyNs = Clock.switchTo(PhaseCheckNs);
+    if (Prof)
+      mutateLatency().record(ApplyNs);
+
     UpdateInfo Info;
     Info.Sw = Op.Sw;
-    Info.OldTable = &Undo.OldTable;
-    Info.NewTable = &NewTable;
-    Info.ChangedStates = &Changed;
+    Info.OldTable = &F.Undo.OldTable;
+    Info.NewTable = NewT;
+    Info.ChangedStates = &F.Changed;
 
     // The checker charges the unit account here (mc/CheckerBackend.h).
-    CheckResult Res;
-    {
-      PhaseScope ChkPs(Prof, PhaseCheckNs);
-      Res = Checker.recheckAfterUpdate(Info);
-    }
+    CheckResult Res = Checker.recheckAfterUpdate(Info);
     ++Stats.CheckCalls;
 
     bool Success = false;
     if (Res.Holds) {
       Applied.set(I);
       AppliedSeq.push_back(I);
+      // The recursion continues this timeline: the child's first
+      // switchTo closes the check slice, no boundary read needed.
       Success = dfs();
       if (!Success) {
         Applied.reset(I);
@@ -643,23 +799,23 @@ private:
                Checker.providesCounterexamples()) {
       // Mostly SAT-layer work (constraint derivation + clause push);
       // the W append rides along.
-      PhaseScope SatPs(Prof, PhaseSatNs);
+      Clock.switchTo(PhaseSatNs);
       learnCex(Res.Cex, Next);
     }
 
     if (Success)
       return true; // Keep the structure mutated; the caller replays.
 
-    {
-      PhaseScope MutPs(Prof, PhaseMutateNs, Prof ? &mutateLatency() : nullptr);
-      Checker.notifyRollback();
-      K.undo(Undo);
-    }
+    Clock.switchTo(PhaseMutateNs);
+    Checker.notifyRollback();
+    K.undo(std::move(F.Undo)); // Donates the buffers back for reuse.
+    uint64_t UndoNs = Clock.switchTo(PhaseSatNs);
+    if (Prof)
+      mutateLatency().record(UndoNs);
 
     if (Ctx.Opts.EarlyTermination && !Res.Holds &&
         ++FailuresSinceEtCheck >= EtCheckInterval) {
       FailuresSinceEtCheck = 0;
-      PhaseScope SatPs(Prof, PhaseSatNs);
       // Deterministic mode consults the unit-local solver (its clause
       // set, and therefore its verdict, is a pure function of the unit);
       // an UNSAT answer is an instance-level proof either way.
@@ -672,6 +828,127 @@ private:
       }
     }
     return false;
+  }
+
+  /// Publishes candidate \p I (explored from the current applied
+  /// prefix) on this shard's own deque instead of descending into it.
+  /// False when the deque is full — the caller descends itself.
+  bool offerSteal(unsigned I) {
+    StealTask T;
+    T.Path = AppliedSeq;
+    T.Cand = I;
+    T.Unit = CurrentUnit;
+    return Ctx.Deques[ShardIndex]->tryPush(std::move(T));
+  }
+
+  /// Claims a task: own deque first (newest offer — the hot rollback
+  /// path), then the siblings' fronts (their oldest, shallowest
+  /// offers). Registers this shard as active *before* scanning and
+  /// stays registered on success; only a failed full scan deregisters.
+  /// Scanning the own deque first is what makes the exit protocol
+  /// sound: only this shard pushes to its deque, so it cannot exit —
+  /// which requires a failed scan — while its own offers are
+  /// undrained, and therefore no published subtree is ever stranded.
+  bool takeTask(StealTask &T) {
+    Ctx.ActiveWorkers.fetch_add(1, std::memory_order_acq_rel);
+    if (Ctx.Deques[ShardIndex]->tryPopBack(T))
+      return true;
+    for (size_t D = 0; D != Ctx.Deques.size(); ++D) {
+      if (D == ShardIndex)
+        continue;
+      if (Ctx.Deques[D]->tryPopFront(T))
+        return true;
+    }
+    Ctx.ActiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+
+  /// Executes one stolen subtree: replay the path with raw structure
+  /// updates (per-step rechecks would be wasted — the owner already
+  /// verified every prefix), re-bind the checker once at the replayed
+  /// configuration, then run the normal claimed exploration of the
+  /// candidate. Returns true iff this completed a winning sequence
+  /// (already recorded); otherwise the shard is back at the initial
+  /// configuration when this returns.
+  bool runStolen(const StealTask &T) {
+    assert(AppliedSeq.empty() && "stolen task on a dirty shard");
+    CurrentUnit = T.Unit; // Nested offers charge the right unit.
+    std::vector<KripkeStructure::UndoRecord> Undos;
+    Undos.reserve(T.Path.size());
+    for (unsigned OpIdx : T.Path) {
+      const MicroOp &Op = Ctx.Ops[OpIdx];
+      const Header *ClassHdr =
+          Op.ClassIdx < 0
+              ? nullptr
+              : &Ctx.Classes[static_cast<size_t>(Op.ClassIdx)].Hdr;
+      Table NewTable = opResultTable(K.config().table(Op.Sw),
+                                     Ctx.Final.table(Op.Sw), ClassHdr);
+      std::vector<StateId> Changed;
+      Undos.push_back(K.applySwitchUpdate(Op.Sw, NewTable, Changed));
+      Applied.set(OpIdx);
+      AppliedSeq.push_back(OpIdx);
+    }
+    CheckResult BindRes;
+    {
+      PhaseScope Ps(obs::detailEnabled(), PhaseCheckNs);
+      BindRes = Checker.bind(K, Ctx.Phi);
+    }
+    ++Stats.CheckCalls; // The price of a steal: one extra bind query.
+    ++Stats.StolenTasks;
+    // The owner reached this prefix through successful rechecks, so the
+    // bind can only fail if the backend is nondeterministic — in which
+    // case exploring would be unsound; skip the task. (Its subtree was
+    // claimed by nobody: any shard reaching it normally still can.)
+    bool Won = BindRes.Holds && tryCandidate(T.Cand);
+    Clock.stop(); // Steal-queue scanning between tasks is not a phase.
+    if (Won) {
+      Ctx.recordWinner(T.Unit, AppliedSeq);
+      return true; // Keep the final structure; no rollback.
+    }
+    // Unwind the replay (tryCandidate already restored the replayed
+    // configuration). The checker is stale after these raw undos, but
+    // the next consumer — another runStolen — re-binds regardless.
+    for (size_t S = Undos.size(); S-- > 0;) {
+      K.undo(std::move(Undos[S]));
+      Applied.reset(T.Path[S]);
+    }
+    AppliedSeq.clear();
+    return false;
+  }
+
+  /// The thief phase, entered once every top-level unit is claimed:
+  /// drain the deques until no task is found while no worker is active
+  /// (then nothing can be published anymore), a winner appears, or the
+  /// shard aborts.
+  void stealLoop() {
+    Ctx.IdleShards.fetch_add(1, std::memory_order_relaxed);
+    StealTask T;
+    for (;;) {
+      if (AbortFlag)
+        break;
+      if (Stop.stopRequested()) {
+        noteStop();
+        break;
+      }
+      if (Ctx.softWallExpired()) {
+        Ctx.WallAbort.store(true, std::memory_order_relaxed);
+        Ctx.Halt.requestStop();
+        break;
+      }
+      if (takeTask(T)) {
+        bool Won = runStolen(T);
+        Ctx.ActiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
+        if (Won || AbortFlag)
+          break;
+        continue;
+      }
+      // Failed scan (takeTask dropped the active mark): exit only once
+      // nobody holds work — an active worker may still publish.
+      if (Ctx.ActiveWorkers.load(std::memory_order_acquire) == 0)
+        break;
+      std::this_thread::yield();
+    }
+    Ctx.IdleShards.fetch_sub(1, std::memory_order_relaxed);
   }
 
   void learnCex(const std::vector<StateId> &CexStates, const Bitset &Bits) {
@@ -717,15 +994,13 @@ private:
     // incorrect Impossible.
     if (Value.none())
       return;
+    if (Ctx.Opts.EarlyTermination)
+      (Ctx.Deterministic ? *UnitET : Ctx.ET)
+          .addMaskValueConstraint(Mask, Value);
     if (Ctx.Deterministic)
-      UnitWrong.push_back({Mask, Value});
+      UnitWrong.push_back({std::move(Mask), std::move(Value)});
     else
-      Ctx.addWrong({Mask, Value});
-
-    if (!Ctx.Opts.EarlyTermination)
-      return;
-    (Ctx.Deterministic ? *UnitET : Ctx.ET)
-        .addMaskValueConstraint(Mask, Value);
+      Ctx.addWrong(std::move(Mask), std::move(Value));
   }
 
   bool matchesUnitWrong(const Bitset &Bits) const {
@@ -751,17 +1026,40 @@ private:
   SearchContext &Ctx;
   KripkeStructure &K;       // Shard-private; mutate/rollback stays here.
   CheckerBackend &Checker;  // Shard-private, follows K.
+  /// This shard's slot in Ctx.Deques (primary 0, thread T -> T+1).
+  unsigned ShardIndex;
   StopToken Stop;
 
   Bitset Applied;
   std::vector<unsigned> AppliedSeq;
   bool AbortFlag = false;
+
+  /// Per-depth scratch for one DFS edge, reused across every candidate
+  /// tried at that depth — the steady-state search allocates nothing.
+  /// The undo record's buffers cycle through the structure itself
+  /// (undo(&&) donates them back; see kripke/Kripke.h).
+  struct DfsFrame {
+    std::vector<StateId> Changed;
+    Table NewTable;
+    KripkeStructure::UndoRecord Undo;
+    Bitset Next;
+  };
+  /// Indexed by depth (AppliedSeq.size()); sized in the constructor and
+  /// never resized — tryCandidate holds references into it across
+  /// recursion.
+  std::vector<DfsFrame> Frames;
   /// Phase-breakdown accumulators (ns); zero unless the obs detail tier
   /// was on. finalizeStats() converts them into the SynthStats seconds.
   uint64_t PhaseCheckNs = 0;
   uint64_t PhaseMutateNs = 0;
   uint64_t PhasePruneNs = 0;
   uint64_t PhaseSatNs = 0;
+  /// Whether the obs detail tier was on when this shard started; the
+  /// searcher lives inside one run, so the flag cannot change under it.
+  const bool Prof = obs::detailEnabled();
+  /// The shard's phase timeline, spanning units and the DFS recursion;
+  /// stopped at unit/steal boundaries so only search work is attributed.
+  PhaseClock Clock{Prof};
   /// The SAT check batches failures: solving after every learned clause
   /// is wasted work when the constraints are still easily satisfiable.
   unsigned FailuresSinceEtCheck = 0;
@@ -775,7 +1073,7 @@ private:
   /// The quota ran dry mid-subtree — distinct from finishing a unit
   /// with the quota exactly spent, which is a complete exploration.
   bool UnitTruncated = false;
-  std::unordered_set<Bitset, BitsetHash> UnitVisited;
+  FlatBitsetSet UnitVisited;
   std::vector<std::pair<Bitset, Bitset>> UnitWrong;
   /// Unit-local SAT layer (constructed per unit so its clause set is a
   /// function of the unit alone); only engaged in deterministic mode.
@@ -814,6 +1112,8 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   SearchContext Ctx(Topo, Initial, Final, Classes, Phi, Opts);
   Ctx.ET.setStopToken(Ctx.stopToken());
   Ctx.buildOps();
+  Ctx.Wrong.reset(Ctx.Ops.size());
+  Ctx.SeedWrong.reset(Ctx.Ops.size());
 
   // A finite check budget engages deterministic mode: carve it into
   // per-unit quotas once, from (budget, #units) alone. UnitCheckCalls
@@ -845,10 +1145,12 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
                                        Opts.RuleGranularity);
     Ctx.ExportLearning = true;
     if (!Ctx.Deterministic) {
-      Ctx.SeedWrong = Opts.Learning->fetch(LearnKey, Ctx.Ops.size());
-      if (Opts.EarlyTermination)
-        for (const std::pair<Bitset, Bitset> &E : Ctx.SeedWrong)
+      for (std::pair<Bitset, Bitset> &E :
+           Opts.Learning->fetch(LearnKey, Ctx.Ops.size())) {
+        if (Opts.EarlyTermination)
           Ctx.ET.addMaskValueConstraint(E.first, E.second);
+        Ctx.SeedWrong.add(std::move(E.first), std::move(E.second));
+      }
     }
   }
 
@@ -861,6 +1163,18 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
   if (!Opts.ShardCheckerFactory)
     Shards = 1; // No way to build sibling checkers; degrade gracefully.
   Ctx.Sharded = Shards > 1;
+
+  // Work-stealing engages only where it is sound *and* useful: sharded
+  // (someone to steal from) and non-deterministic (budget mode's
+  // unit-local V/W/quota state cannot be handed across shards without
+  // making the verdict depend on scheduling).
+  Ctx.Stealing = Ctx.Sharded && !Ctx.Deterministic && Opts.WorkStealing;
+  Ctx.StealDepthLimit = Opts.StealDepth;
+  if (Ctx.Stealing) {
+    Ctx.Deques.reserve(Shards);
+    for (unsigned S = 0; S != Shards; ++S)
+      Ctx.Deques.push_back(std::make_unique<StealDeque>());
+  }
 
   KripkeStructure K(Topo, Initial, Classes);
   ShardSearcher Primary(Ctx, K, Checker);
@@ -890,10 +1204,8 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
         Learned = std::move(Primary.LearnedWrong);
         for (std::vector<std::pair<Bitset, Bitset>> &L : ShardLearned)
           Learned.insert(Learned.end(), L.begin(), L.end());
-      } else if (Ctx.Sharded) {
-        Learned = Ctx.ParWrong.snapshot();
       } else {
-        Learned = std::move(Ctx.SeqWrong);
+        Learned = Ctx.Wrong.snapshot();
       }
       Total.ImportedConstraints = Ctx.SeedWrong.size();
       Total.ExportedConstraints =
@@ -959,7 +1271,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
         if (!ShardChecker)
           return; // Fewer shards; the rest still cover every unit.
         KripkeStructure ShardK(Topo, Initial, Classes);
-        ShardSearcher Shard(Ctx, ShardK, *ShardChecker);
+        ShardSearcher Shard(Ctx, ShardK, *ShardChecker, T + 1);
         CheckResult BindRes = Shard.bindInitial();
         // The primary bind verified the initial configuration; a shard
         // bind can only disagree if the backend is nondeterministic, in

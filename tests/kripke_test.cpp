@@ -162,6 +162,38 @@ TEST(KripkeTest, SwitchUpdateChangesEdgesAndUndoRestores) {
     EXPECT_EQ(K.succs(S), Before[S]) << K.stateName(S);
 }
 
+// The buffer-reusing overload pair the DFS hot path runs on: apply into
+// a caller-owned UndoRecord, undo(&&) donates the buffers back, and the
+// next apply at the same depth reuses them — with results identical to
+// the returning overload at every step.
+TEST(KripkeTest, ReusedUndoRecordMatchesReturningOverload) {
+  Fig1Network N = buildFig1();
+  KripkeStructure K(N.Topo, N.Red, {N.FlowH1H3});
+
+  std::vector<std::vector<StateId>> Before;
+  for (StateId S = 0; S != K.numStates(); ++S)
+    Before.push_back(K.succs(S));
+
+  KripkeStructure::UndoRecord Undo;
+  std::vector<StateId> Changed;
+  for (int Round = 0; Round != 3; ++Round) {
+    // The reuse overload APPENDS to Changed (recomputeSwitch's
+    // contract); the caller clears between edges, as the DFS does.
+    Changed.clear();
+    K.applySwitchUpdate(N.A[0], N.Green.table(N.A[0]), Changed, Undo);
+    EXPECT_FALSE(Changed.empty());
+    for (StateId S : Changed)
+      EXPECT_EQ(K.stateSwitch(S), N.A[0]);
+    EXPECT_EQ(K.config().table(N.A[0]), N.Green.table(N.A[0]));
+
+    K.undo(std::move(Undo));
+    EXPECT_EQ(K.config().table(N.A[0]), N.Red.table(N.A[0]));
+    for (StateId S = 0; S != K.numStates(); ++S)
+      EXPECT_EQ(K.succs(S), Before[S])
+          << "round " << Round << ": " << K.stateName(S);
+  }
+}
+
 TEST(KripkeTest, UpdateOfIdenticalTableChangesNothing) {
   Fig1Network N = buildFig1();
   KripkeStructure K(N.Topo, N.Red, {N.FlowH1H3});

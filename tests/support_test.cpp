@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
 #include "support/Bitset.h"
 #include "support/ConcurrentSet.h"
 #include "support/Random.h"
@@ -14,9 +15,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 using namespace netupd;
 
@@ -299,4 +303,238 @@ TEST(SharedAppendListTest, AppendScanUnderContention) {
   EXPECT_EQ(List.size(), NumThreads * PerThread);
   EXPECT_TRUE(List.any([](int X) { return X == 999; }));
   EXPECT_FALSE(List.any([](int X) { return X == 1000; }));
+}
+
+// The wrong-set's watch-list indexing: a constraint is filed under the
+// first set bit of its Value, and a probe walking only the probed
+// configuration's set-bit buckets must still find every match (any
+// matching constraint's Value is a subset of the configuration).
+TEST(WatchedWrongSetTest, MatchesAcrossWatchBuckets) {
+  WatchedWrongSet W;
+  W.reset(130);
+  EXPECT_TRUE(W.empty());
+
+  // (Mask = {3, 70}, Value = {70}): refutes configurations that applied
+  // op 70 but not op 3. Watched under bit 70 — in the second word.
+  Bitset M1(130), V1(130);
+  M1.set(3);
+  M1.set(70);
+  V1.set(70);
+  W.add(M1, V1);
+
+  Bitset C(130);
+  C.set(70);
+  EXPECT_TRUE(W.matches(C)) << "70 applied, 3 not: refuted";
+  C.set(3);
+  EXPECT_FALSE(W.matches(C)) << "both applied: mask disagrees with value";
+  Bitset D(130);
+  D.set(3);
+  EXPECT_FALSE(W.matches(D)) << "watch bit 70 absent: cannot match";
+  EXPECT_EQ(W.size(), 1u);
+  EXPECT_EQ(W.snapshot().size(), 1u);
+}
+
+// All-zero Values (only seed imports can produce them) must land in the
+// always-scanned fallback list, not be lost to an out-of-range bucket.
+TEST(WatchedWrongSetTest, ZeroValueConstraintUsesFallback) {
+  WatchedWrongSet W;
+  W.reset(64);
+  Bitset M(64), V(64);
+  M.set(5); // Refutes any configuration that has NOT applied op 5.
+  W.add(M, V);
+  Bitset C(64);
+  C.set(7);
+  EXPECT_TRUE(W.matches(C));
+  C.set(5);
+  EXPECT_FALSE(W.matches(C));
+}
+
+// reset() must both drop old constraints and survive re-shaping to a
+// different width (the search reuses one instance across runs).
+TEST(WatchedWrongSetTest, ResetDropsConstraintsAndReshapes) {
+  WatchedWrongSet W;
+  W.reset(32);
+  Bitset M(32), V(32);
+  M.set(1);
+  V.set(1);
+  W.add(M, V);
+  Bitset C(32);
+  C.set(1);
+  EXPECT_TRUE(W.matches(C));
+
+  W.reset(96);
+  EXPECT_TRUE(W.empty());
+  Bitset C2(96);
+  C2.set(1);
+  C2.set(90);
+  EXPECT_FALSE(W.matches(C2));
+}
+
+// The shared-search contract: lock-free probes racing lock-free adds.
+// Writers insert constraints watched under distinct bits while readers
+// continuously probe; after the join every inserted constraint must be
+// visible and no probe may ever have crashed or false-positived on the
+// sentinel configuration none of the constraints match.
+TEST(WatchedWrongSetTest, ConcurrentAddsAndProbes) {
+  constexpr size_t NumBits = 256;
+  constexpr unsigned Writers = 4;
+  constexpr unsigned PerWriter = 50;
+  WatchedWrongSet W;
+  W.reset(NumBits);
+
+  // Never matched: bit 255 is set in no constraint's mask, and every
+  // constraint requires its own watch bit which Clean lacks.
+  Bitset Clean(NumBits);
+  Clean.set(255);
+
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> FalseHits{0};
+  std::thread Reader([&] {
+    while (!Done.load()) {
+      if (W.matches(Clean))
+        FalseHits.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Writers; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != PerWriter; ++I) {
+        size_t Bit = T * PerWriter + I; // Distinct watch bit per entry.
+        Bitset M(NumBits), V(NumBits);
+        M.set(Bit);
+        V.set(Bit);
+        W.add(std::move(M), std::move(V));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Done.store(true);
+  Reader.join();
+
+  EXPECT_EQ(FalseHits.load(), 0u);
+  EXPECT_EQ(W.size(), Writers * PerWriter);
+  for (size_t Bit = 0; Bit != Writers * PerWriter; ++Bit) {
+    Bitset C(NumBits);
+    C.set(Bit);
+    EXPECT_TRUE(W.matches(C)) << "constraint on bit " << Bit << " lost";
+  }
+}
+
+TEST(FlatBitsetSetTest, InsertContainsClearReuse) {
+  FlatBitsetSet Set;
+  Bitset A(100), B(100);
+  B.set(99);
+  EXPECT_FALSE(Set.contains(A));
+  EXPECT_TRUE(Set.insert(A));
+  EXPECT_FALSE(Set.insert(A)) << "duplicate insert must report present";
+  EXPECT_TRUE(Set.insert(B));
+  EXPECT_TRUE(Set.contains(A));
+  EXPECT_TRUE(Set.contains(B));
+  EXPECT_EQ(Set.size(), 2u);
+
+  // clear() keeps capacity; a refill must behave like a fresh set.
+  Set.clear();
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_FALSE(Set.contains(A));
+  EXPECT_TRUE(Set.insert(A));
+  EXPECT_FALSE(Set.insert(A));
+}
+
+TEST(FlatBitsetSetTest, SurvivesGrowth) {
+  FlatBitsetSet Set;
+  constexpr unsigned N = 500; // Forces several grow() rehashes.
+  for (unsigned I = 0; I != N; ++I) {
+    Bitset B(512);
+    B.set(I);
+    EXPECT_TRUE(Set.insert(B));
+  }
+  EXPECT_EQ(Set.size(), N);
+  for (unsigned I = 0; I != N; ++I) {
+    Bitset B(512);
+    B.set(I);
+    EXPECT_TRUE(Set.contains(B));
+    EXPECT_FALSE(Set.insert(B));
+  }
+}
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  Arena A(/*ChunkBytes=*/256);
+  void *P1 = A.allocate(10, 8);
+  void *P2 = A.allocate(10, 64);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P1) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 64, 0u);
+  EXPECT_EQ(A.bytesAllocated(), 20u);
+
+  // Oversized requests get a dedicated chunk instead of failing.
+  void *Big = A.allocate(4096);
+  EXPECT_NE(Big, nullptr);
+  EXPECT_GE(A.bytesReserved(), 4096u);
+}
+
+// The lifetime contract: reset() recycles chunk memory in place, so a
+// steady-state fill-reset-fill loop reuses capacity and stops growing.
+TEST(ArenaTest, ResetRecyclesChunks) {
+  Arena A(/*ChunkBytes=*/512);
+  for (unsigned I = 0; I != 8; ++I)
+    A.allocate(256);
+  size_t Reserved = A.bytesReserved();
+  size_t Chunks = A.numChunks();
+  EXPECT_GT(Chunks, 1u) << "fill should have spilled into extra chunks";
+
+  for (unsigned Round = 0; Round != 4; ++Round) {
+    A.reset();
+    EXPECT_EQ(A.bytesAllocated(), 0u);
+    for (unsigned I = 0; I != 8; ++I) {
+      void *P = A.allocate(256);
+      // Writing the full allocation catches chunk-boundary arithmetic
+      // errors under ASan/TSan builds.
+      for (size_t B = 0; B != 256; ++B)
+        static_cast<char *>(P)[B] = static_cast<char>(B);
+    }
+    EXPECT_EQ(A.bytesReserved(), Reserved)
+        << "steady-state round grew the arena";
+    EXPECT_EQ(A.numChunks(), Chunks);
+  }
+}
+
+TEST(ArenaTest, CreateConstructsInPlace) {
+  Arena A;
+  struct Pair {
+    int X;
+    int Y;
+  };
+  Pair *P = A.create<Pair>(Pair{3, 4});
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+// ChunkedVector: growth never moves existing elements (the BDD node
+// table holds raw pointers into it), and clear() + refill reuses the
+// same chunk memory without touching the arena.
+TEST(ChunkedVectorTest, StableAddressesAcrossGrowth) {
+  Arena A;
+  ChunkedVector<uint64_t, 64> V(A);
+  EXPECT_TRUE(V.empty());
+  V.push_back(1);
+  uint64_t *First = &V[0];
+  for (uint64_t I = 1; I != 1000; ++I)
+    V.push_back(I + 1);
+  EXPECT_EQ(V.size(), 1000u);
+  EXPECT_EQ(&V[0], First) << "growth moved an element";
+  for (uint64_t I = 0; I != 1000; ++I)
+    EXPECT_EQ(V[I], I + 1);
+  EXPECT_EQ(V.back(), 1000u);
+
+  size_t Reserved = A.bytesReserved();
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  for (uint64_t I = 0; I != 1000; ++I)
+    V.push_back(I * 3);
+  EXPECT_EQ(&V[0], First) << "refill must reuse the carved chunks";
+  EXPECT_EQ(V[999], 999u * 3);
+  EXPECT_EQ(A.bytesReserved(), Reserved)
+      << "clear()+refill must not allocate new chunks";
 }

@@ -403,7 +403,7 @@ TEST(EarlyTerminationTest, EmptyNotUpdatedMeansImpossible) {
 // is added (forcing whoever adds it to visit this test and mergeFrom),
 // and the doubling check verifies each existing field actually merges.
 #if defined(__x86_64__) || defined(__aarch64__)
-static_assert(sizeof(SynthStats) == 176,
+static_assert(sizeof(SynthStats) == 184,
               "SynthStats changed size: add the new field to mergeFrom() "
               "and to MergeFromCoversEveryField, then update this pin");
 #endif
@@ -424,6 +424,7 @@ TEST(SynthStatsTest, MergeFromCoversEveryField) {
   A.ImportedConstraints = 11;
   A.ExportedConstraints = 12;
   A.SeededPrunes = 13;
+  A.StolenTasks = 22;
   A.HitBudget = true;
   A.Interrupted = true;
   A.WaitsBeforeRemoval = 14;
@@ -455,6 +456,7 @@ TEST(SynthStatsTest, MergeFromCoversEveryField) {
   EXPECT_EQ(B.ImportedConstraints, 2 * A.ImportedConstraints);
   EXPECT_EQ(B.ExportedConstraints, 2 * A.ExportedConstraints);
   EXPECT_EQ(B.SeededPrunes, 2 * A.SeededPrunes);
+  EXPECT_EQ(B.StolenTasks, 2 * A.StolenTasks);
   EXPECT_TRUE(B.HitBudget);
   EXPECT_TRUE(B.Interrupted);
   EXPECT_EQ(B.WaitsBeforeRemoval, 2 * A.WaitsBeforeRemoval);
