@@ -70,6 +70,7 @@
 #include "mc/MemoizingChecker.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "topo/Churn.h"
 #include "topo/Generators.h"
 
 #include <algorithm>
@@ -258,6 +259,21 @@ struct CachePoint {
   }
 };
 
+/// One zoo-at-scale point: a batch of diamond jobs on one 500+-switch
+/// fabric, end to end through the engine (or, for the churn point, a
+/// rolling-maintenance stream with the result cache on).
+struct ZooScalePoint {
+  std::string Name;
+  unsigned Switches = 0;
+  size_t Jobs = 0;
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  uint64_t TotalQueries = 0;
+  unsigned Succeeded = 0;
+  /// Nonzero only for the churn-stream point.
+  uint64_t EngineCacheHits = 0;
+};
+
 /// Writes everything measured to BENCH_engine.json. Every section
 /// records its own effective scale (the parallel sections run floored —
 /// see the file comment) so the cross-commit trend gate can refuse to
@@ -270,7 +286,8 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
                const std::vector<BudgetPoint> &BudgetRuns,
                size_t LearnJobs, const std::vector<LearnPoint> &LearnRuns,
                const std::vector<PhasePoint> &Phases,
-               const std::vector<ObsPoint> &ObsRuns) {
+               const std::vector<ObsPoint> &ObsRuns,
+               const std::vector<ZooScalePoint> &ZooRuns) {
   FILE *F = std::fopen("BENCH_engine.json", "w");
   if (!F) {
     std::printf("warning: cannot write BENCH_engine.json\n");
@@ -397,6 +414,22 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
         static_cast<unsigned long long>(P.Exported),
         static_cast<unsigned long long>(P.SeededPrunes), P.Succeeded,
         I + 1 == LearnRuns.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"zoo_scale\": %g,\n  \"zoo\": [\n", Scale);
+  for (size_t I = 0; I != ZooRuns.size(); ++I) {
+    const ZooScalePoint &P = ZooRuns[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"switches\": %u, \"jobs\": %zu, "
+                 "\"wall_seconds\": %.6f, \"jobs_per_sec\": %.3f, "
+                 "\"total_queries\": %llu, \"succeeded\": %u, "
+                 "\"engine_cache_hits\": %llu}%s\n",
+                 P.Name.c_str(), P.Switches, P.Jobs, P.WallSeconds,
+                 P.JobsPerSec,
+                 static_cast<unsigned long long>(P.TotalQueries),
+                 P.Succeeded,
+                 static_cast<unsigned long long>(P.EngineCacheHits),
+                 I + 1 == ZooRuns.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
@@ -1043,6 +1076,157 @@ int main(int Argc, char **Argv) {
          std::to_string(P.SeededPrunes), std::to_string(P.Imported)},
         {9, 10, 9, 9, 9, 9});
 
+  banner("scenario zoo at scale: 500+-switch fabrics end to end");
+
+  // The fuzzer's instance families stay small so the cell matrix runs in
+  // seconds; this section is where the zoo generators prove the other
+  // half of the claim — the same builders emit 500+-switch fat-trees and
+  // WANs whose update scenarios synthesize end to end. Failures here are
+  // hard errors, not trend warnings: a fabric below 500 switches or an
+  // unsynthesizable job means a generator regressed.
+  std::vector<ZooScalePoint> ZooRuns;
+  {
+    Rng ZR(4207);
+    unsigned ZooJobs = std::max(4u, static_cast<unsigned>(4 * Scale));
+
+    struct Fabric {
+      std::string Name;
+      Topology Topo;
+    };
+    std::vector<Fabric> Fabrics;
+    Fabrics.push_back({"fattree-k24", buildFatTree(24)});
+    {
+      WanParams WP; // Defaults: mean 16 PoPs per region.
+      WP.Regions = 40;
+      Rng Fork = ZR.fork();
+      Fabrics.push_back({"wan-40x16", buildWan(WP, Fork)});
+    }
+
+    row({"fabric", "switches", "jobs", "wall(s)", "jobs/s", "queries"},
+        {13, 10, 6, 10, 9, 10});
+    for (const Fabric &F : Fabrics) {
+      if (F.Topo.numSwitches() < 500) {
+        std::printf("ERROR: %s has %u switches, zoo-scale floor is 500\n",
+                    F.Name.c_str(), F.Topo.numSwitches());
+        return 1;
+      }
+      std::vector<SynthJob> ZJobs;
+      DiamondOptions ZOpts;
+      ZOpts.NumFlows = 2;
+      for (unsigned I = 0; I != ZooJobs; ++I) {
+        Rng Fork = ZR.fork();
+        std::optional<Scenario> S = makeDiamondScenarioRetrying(
+            F.Topo, Fork, PropertyKind::Reachability, ZOpts);
+        if (!S) {
+          std::printf("ERROR: no 2-flow diamond found on %s\n",
+                      F.Name.c_str());
+          return 1;
+        }
+        SynthJob Job;
+        Job.Name = F.Name + "-" + std::to_string(I);
+        Job.S = std::move(*S);
+        ZJobs.push_back(std::move(Job));
+      }
+
+      EngineOptions EO;
+      EO.NumWorkers = std::max(2u, Cores);
+      EO.CacheResults = false;
+      EO.SharedLearning = false;
+      SynthEngine Engine(EO);
+      BatchReport Rep = Engine.run(ZJobs);
+      if (Rep.numSucceeded() != ZJobs.size()) {
+        std::printf("ERROR: %u/%zu zoo-scale jobs succeeded on %s\n",
+                    Rep.numSucceeded(), ZJobs.size(), F.Name.c_str());
+        return 1;
+      }
+
+      ZooScalePoint P;
+      P.Name = F.Name;
+      P.Switches = F.Topo.numSwitches();
+      P.Jobs = ZJobs.size();
+      P.WallSeconds = Rep.WallSeconds;
+      P.JobsPerSec = Rep.WallSeconds > 0
+                         ? static_cast<double>(ZJobs.size()) / Rep.WallSeconds
+                         : 0.0;
+      P.TotalQueries = Rep.TotalQueries;
+      P.Succeeded = Rep.numSucceeded();
+      ZooRuns.push_back(P);
+      row({P.Name, std::to_string(P.Switches), std::to_string(P.Jobs),
+           format("%.3f", P.WallSeconds), format("%.1f", P.JobsPerSec),
+           std::to_string(P.TotalQueries)},
+          {13, 10, 6, 10, 9, 10});
+    }
+
+    // Rolling maintenance at WAN scale: a churn trace over the large WAN
+    // fed through the engine with the result cache on. One worker keeps
+    // the cache-hit pigeonhole floor deterministic (digest-identical jobs
+    // running concurrently can both miss).
+    {
+      const Topology &Wan = Fabrics.back().Topo;
+      Rng Fork = ZR.fork();
+      ChurnOptions CO;
+      CO.NumFlows = 2;
+      CO.Steps = std::max(8u, static_cast<unsigned>(12 * Scale));
+      std::optional<ChurnTrace> Trace = makeChurnTrace(Wan, Fork, CO);
+      if (!Trace) {
+        std::printf("ERROR: churn trace failed on wan-40x16\n");
+        return 1;
+      }
+      std::vector<SynthJob> CJobs;
+      std::vector<Digest> Distinct;
+      for (size_t I = 0; I != Trace->Steps.size(); ++I) {
+        SynthJob Job;
+        Job.Name = "churn-" + std::to_string(I);
+        Job.S = Trace->Steps[I];
+        Digest D = digestOf(Job.S);
+        if (std::find(Distinct.begin(), Distinct.end(), D) == Distinct.end())
+          Distinct.push_back(D);
+        CJobs.push_back(std::move(Job));
+      }
+
+      EngineOptions EO;
+      EO.NumWorkers = 1;
+      EO.CacheResults = true;
+      EO.SharedLearning = false;
+      SynthEngine Engine(EO);
+      BatchReport Rep = Engine.run(CJobs);
+      if (Rep.numSucceeded() != CJobs.size()) {
+        std::printf("ERROR: %u/%zu churn steps succeeded at WAN scale\n",
+                    Rep.numSucceeded(), CJobs.size());
+        return 1;
+      }
+      uint64_t Floor = CJobs.size() - Distinct.size();
+      if (Rep.EngineCacheHits < Floor) {
+        std::printf("ERROR: churn cache hits %llu below pigeonhole "
+                    "floor %llu\n",
+                    static_cast<unsigned long long>(Rep.EngineCacheHits),
+                    static_cast<unsigned long long>(Floor));
+        return 1;
+      }
+
+      ZooScalePoint P;
+      P.Name = "wan-40x16-churn";
+      P.Switches = Wan.numSwitches();
+      P.Jobs = CJobs.size();
+      P.WallSeconds = Rep.WallSeconds;
+      P.JobsPerSec = Rep.WallSeconds > 0
+                         ? static_cast<double>(CJobs.size()) / Rep.WallSeconds
+                         : 0.0;
+      P.TotalQueries = Rep.TotalQueries;
+      P.Succeeded = Rep.numSucceeded();
+      P.EngineCacheHits = Rep.EngineCacheHits;
+      ZooRuns.push_back(P);
+      row({P.Name, std::to_string(P.Switches), std::to_string(P.Jobs),
+           format("%.3f", P.WallSeconds), format("%.1f", P.JobsPerSec),
+           std::to_string(P.TotalQueries)},
+          {13, 10, 6, 10, 9, 10});
+      std::printf("churn cache hits: %llu (floor %llu over %zu distinct "
+                  "digests)\n",
+                  static_cast<unsigned long long>(Rep.EngineCacheHits),
+                  static_cast<unsigned long long>(Floor), Distinct.size());
+    }
+  }
+
   banner("phase profile: thread-seconds per search phase (detail tier)");
   row({"section", "param", "wall(s)", "check", "mutate", "prune", "sat"},
       {9, 7, 10, 9, 9, 9, 9});
@@ -1054,6 +1238,6 @@ int main(int Argc, char **Argv) {
 
   writeJson(Scale, SweepScale, ShardScale, Cores, Jobs.size(), Sweep,
             CacheJobs.size(), CacheRuns, ShardRuns, BudgetRuns,
-            LearnJobs.size(), LearnRuns, Phases, ObsRuns);
+            LearnJobs.size(), LearnRuns, Phases, ObsRuns, ZooRuns);
   return 0;
 }

@@ -6,7 +6,7 @@ previous successful CI run's artifact) and emits GitHub warning
 annotations for regressions beyond a threshold:
 
   - jobs/sec drops  > threshold in any section point (sweep, cache,
-    shards, budget, learning, obs),
+    shards, budget, learning, obs, zoo),
   - cache/memo hit-rate drops > threshold (relative) in the cache
     section,
   - total checker-query INCREASES > threshold in the learning "on" mode
@@ -18,7 +18,11 @@ annotations for regressions beyond a threshold:
   - shard-scaling speedup drops > threshold and checker-query INCREASES
     in the shards section (query-neutrality of the sharded search),
   - obs overhead_pct INCREASES > threshold in the metrics/trace tiers
-    (the instrumentation-cost budget).
+    (the instrumentation-cost budget),
+  - jobs/sec drops or checker-query INCREASES > threshold in the "zoo"
+    section's 500+-switch fabric points (scenario-zoo-at-scale cost;
+    hard correctness failures there abort the bench itself, so the gate
+    only prices the throughput).
 
 Unknown top-level keys and unknown fields inside section points are
 ignored, and sections absent from either file are skipped, so old and
@@ -161,6 +165,9 @@ def main():
         compare_section(base, cur, "budget", "shards",
                         [("jobs_per_sec", False)] + pct, t)
     compare_section(base, cur, "learning", "mode",
+                    [("jobs_per_sec", False),
+                     ("total_queries", True)], t)
+    compare_section(base, cur, "zoo", "name",
                     [("jobs_per_sec", False),
                      ("total_queries", True)], t)
     # The obs overhead modes: a jobs/sec drop in "off" is an overhead

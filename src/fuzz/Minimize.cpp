@@ -1,0 +1,224 @@
+//===- fuzz/Minimize.cpp - Disagreement delta-minimization -----*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimize.h"
+
+#include <algorithm>
+
+using namespace netupd;
+using namespace netupd::fuzz;
+
+namespace {
+
+/// The exact pattern installPath() installs for \p C (see Config.cpp):
+/// match on the class's destination and source fields.
+Pattern classPattern(const TrafficClass &C) {
+  Pattern P = Pattern::onField(Field::Dst, C.Hdr.get(Field::Dst));
+  P.Values[static_cast<size_t>(Field::Src)] = C.Hdr.get(Field::Src);
+  return P;
+}
+
+/// Removes every rule installed for \p C from \p Cfg.
+void stripClassRules(Config &Cfg, const TrafficClass &C) {
+  Pattern P = classPattern(C);
+  for (SwitchId Sw = 0; Sw != Cfg.numSwitches(); ++Sw) {
+    const Table &T = Cfg.table(Sw);
+    if (T.empty())
+      continue;
+    std::vector<Rule> Kept;
+    for (const Rule &R : T.rules())
+      if (!(R.Pat == P))
+        Kept.push_back(R);
+    if (Kept.size() != T.size())
+      Cfg.setTable(Sw, Table(std::move(Kept)));
+  }
+}
+
+/// \p S without flow \p Idx: the flow spec goes, and so do its installed
+/// rules in both configurations.
+Scenario dropFlow(const Scenario &S, size_t Idx) {
+  Scenario Out = S;
+  TrafficClass C = Out.Flows[Idx].Class;
+  Out.Flows.erase(Out.Flows.begin() + static_cast<long>(Idx));
+  stripClassRules(Out.Initial, C);
+  stripClassRules(Out.Final, C);
+  return Out;
+}
+
+Table remapTable(const Table &T, const std::vector<PortId> &PortMap) {
+  std::vector<Rule> Rules;
+  Rules.reserve(T.size());
+  for (const Rule &R : T.rules()) {
+    Rule N = R;
+    if (N.Pat.InPort && *N.Pat.InPort < PortMap.size())
+      N.Pat.InPort = PortMap[*N.Pat.InPort];
+    for (Action &A : N.Actions)
+      if (A.K == Action::Kind::Forward && A.OutPort < PortMap.size())
+        A.OutPort = PortMap[A.OutPort];
+    Rules.push_back(std::move(N));
+  }
+  return Table(std::move(Rules));
+}
+
+} // namespace
+
+std::optional<Scenario> fuzz::removeSwitch(const Scenario &S,
+                                           SwitchId Victim) {
+  const Topology &T = S.Topo;
+  if (T.numSwitches() <= 1 || Victim >= T.numSwitches())
+    return std::nullopt;
+
+  // A switch holding a flow endpoint, a waypoint, or a host attachment
+  // cannot be removed — the property or a flow spec names it.
+  for (const FlowSpec &F : S.Flows) {
+    if (F.SrcPort < T.numPorts() && T.portOwner(F.SrcPort) == Victim)
+      return std::nullopt;
+    if (F.DstPort < T.numPorts() && T.portOwner(F.DstPort) == Victim)
+      return std::nullopt;
+    if (std::find(F.Waypoints.begin(), F.Waypoints.end(), Victim) !=
+        F.Waypoints.end())
+      return std::nullopt;
+  }
+  for (const Link &L : T.links()) {
+    bool TouchesVictim =
+        (!L.From.isHost() && L.From.Switch == Victim) ||
+        (!L.To.isHost() && L.To.Switch == Victim);
+    bool TouchesHost = L.From.isHost() || L.To.isHost();
+    if (TouchesVictim && TouchesHost)
+      return std::nullopt; // Removing would strand a host.
+  }
+
+  // Switch id remap (compact, order preserved).
+  std::vector<SwitchId> SwMap(T.numSwitches(), 0);
+  Scenario Out;
+  for (SwitchId Sw = 0; Sw != T.numSwitches(); ++Sw) {
+    if (Sw == Victim)
+      continue;
+    SwMap[Sw] = Out.Topo.addSwitch(T.switchName(Sw));
+  }
+  for (HostId H = 0; H != T.numHosts(); ++H)
+    Out.Topo.addHost(T.hostName(H));
+
+  // Replay port allocations in global order, skipping the victim's, so
+  // surviving ports keep their relative order and the topology's
+  // sequential allocator reproduces a dense numbering.
+  std::vector<PortId> PortMap(T.numPorts(), InvalidPort);
+  for (PortId P = 0; P != T.numPorts(); ++P) {
+    SwitchId Owner = T.portOwner(P);
+    if (Owner == Victim)
+      continue;
+    PortMap[P] = Out.Topo.addPort(SwMap[Owner]);
+  }
+
+  auto Remap = [&](const Location &L, Location &Dst) -> bool {
+    if (L.isHost()) {
+      Dst = L;
+      return true;
+    }
+    if (L.Switch == Victim)
+      return false;
+    Dst = Location::switchPort(SwMap[L.Switch], PortMap[L.Port]);
+    return true;
+  };
+  for (const Link &L : T.links()) {
+    Location From, To;
+    if (!Remap(L.From, From) || !Remap(L.To, To))
+      continue; // Link touched the victim; drop it.
+    Out.Topo.addLink(From, To);
+  }
+
+  Out.Kind = S.Kind;
+  Out.Initial = Config(Out.Topo.numSwitches());
+  Out.Final = Config(Out.Topo.numSwitches());
+  for (SwitchId Sw = 0; Sw != T.numSwitches(); ++Sw) {
+    if (Sw == Victim)
+      continue;
+    Out.Initial.setTable(SwMap[Sw], remapTable(S.Initial.table(Sw), PortMap));
+    Out.Final.setTable(SwMap[Sw], remapTable(S.Final.table(Sw), PortMap));
+  }
+
+  for (const FlowSpec &F : S.Flows) {
+    FlowSpec N = F;
+    if (N.SrcPort < PortMap.size())
+      N.SrcPort = PortMap[N.SrcPort];
+    if (N.DstPort < PortMap.size())
+      N.DstPort = PortMap[N.DstPort];
+    for (SwitchId &W : N.Waypoints)
+      W = SwMap[W];
+    auto RemapPath = [&](std::vector<SwitchId> &Path) {
+      std::vector<SwitchId> Kept;
+      for (SwitchId Sw : Path)
+        if (Sw != Victim)
+          Kept.push_back(SwMap[Sw]);
+      Path = std::move(Kept);
+    };
+    RemapPath(N.InitialPath);
+    RemapPath(N.FinalPath);
+    Out.Flows.push_back(std::move(N));
+  }
+  return Out;
+}
+
+Scenario fuzz::minimizeScenario(const Scenario &S, const Oracle &StillBad) {
+  Scenario Cur = S;
+  if (!StillBad(Cur))
+    return Cur;
+
+  bool Changed = true;
+  for (unsigned Round = 0; Changed && Round != 4; ++Round) {
+    Changed = false;
+
+    // Pass 1: drop whole flows (largest index first, so erasures don't
+    // shift pending candidates).
+    for (size_t I = Cur.Flows.size(); Cur.Flows.size() > 1 && I-- > 0;) {
+      Scenario Cand = dropFlow(Cur, I);
+      if (StillBad(Cand)) {
+        Cur = std::move(Cand);
+        Changed = true;
+      }
+    }
+
+    // Pass 2: shorten the update diff one switch at a time.
+    for (SwitchId Sw : diffSwitches(Cur.Initial, Cur.Final)) {
+      Scenario Cand = Cur;
+      Cand.Final.setTable(Sw, Cur.Initial.table(Sw));
+      if (StillBad(Cand)) {
+        Cur = std::move(Cand);
+        Changed = true;
+      }
+    }
+
+    // Pass 2b: clear identical non-empty tables in both configurations —
+    // a no-op for the diff, but it turns path switches inert so pass 3
+    // can delete them.
+    for (SwitchId Sw = 0; Sw != Cur.Topo.numSwitches(); ++Sw) {
+      if (Cur.Initial.table(Sw).empty() ||
+          !(Cur.Initial.table(Sw) == Cur.Final.table(Sw)))
+        continue;
+      Scenario Cand = Cur;
+      Cand.Initial.setTable(Sw, Table());
+      Cand.Final.setTable(Sw, Table());
+      if (StillBad(Cand)) {
+        Cur = std::move(Cand);
+        Changed = true;
+      }
+    }
+
+    // Pass 3: delete inert switches (no rules either side; endpoint,
+    // waypoint, and host constraints are enforced by removeSwitch).
+    for (SwitchId Sw = Cur.Topo.numSwitches(); Sw-- > 0;) {
+      if (!Cur.Initial.table(Sw).empty() || !Cur.Final.table(Sw).empty())
+        continue;
+      std::optional<Scenario> Cand = removeSwitch(Cur, Sw);
+      if (Cand && StillBad(*Cand)) {
+        Cur = std::move(*Cand);
+        Changed = true;
+      }
+    }
+  }
+  return Cur;
+}

@@ -1,0 +1,62 @@
+//===- fuzz/Minimize.h - Disagreement delta-minimization -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-minimization for differential-fuzzer disagreements. Given
+/// a scenario and an oracle ("does this instance still disagree?"), three
+/// reduction passes run to a fixpoint:
+///
+///  1. drop flows — remove a flow and strip its installed rules from
+///     both configurations;
+///  2. shorten the update diff — revert one updating switch's final
+///     table back to its initial table;
+///  3. shrink the topology — delete switches that carry no rules in
+///     either configuration, host no endpoints, and appear in no
+///     waypoint list, rebuilding the topology with remapped switch and
+///     port ids (ports are reallocated in their original global order,
+///     so the result is a well-formed Topology).
+///
+/// Every candidate reduction is kept only if the oracle still reports a
+/// disagreement, so the passes need not be semantics-preserving — they
+/// only propose. The oracle is typically a full matrix re-check, which
+/// keeps minimization honest: whichever pair of cells disagrees on the
+/// reduced instance, it is still a real disagreement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_FUZZ_MINIMIZE_H
+#define NETUPD_FUZZ_MINIMIZE_H
+
+#include "topo/Scenario.h"
+
+#include <functional>
+
+namespace netupd {
+namespace fuzz {
+
+/// Returns true when the candidate instance still exhibits the bug.
+using Oracle = std::function<bool(const Scenario &)>;
+
+/// Rebuilds \p S without switch \p Victim, remapping switch ids, global
+/// port ids, links, tables, and flow fields. The victim must carry no
+/// host attachment and own no port referenced by a flow endpoint;
+/// returns std::nullopt if it does (or if it is the last switch). Rules
+/// on other switches that forwarded toward the victim survive with their
+/// (now dangling) out-ports remapped away only when the port itself was
+/// owned by a removed switch — a kept switch's ports are always kept.
+std::optional<Scenario> removeSwitch(const Scenario &S, SwitchId Victim);
+
+/// Runs the three reduction passes to a fixpoint (bounded) and returns
+/// the smallest still-disagreeing instance found. \p StillBad must
+/// return true on \p S itself; if it does not, \p S is returned
+/// unchanged.
+Scenario minimizeScenario(const Scenario &S, const Oracle &StillBad);
+
+} // namespace fuzz
+} // namespace netupd
+
+#endif // NETUPD_FUZZ_MINIMIZE_H

@@ -1,0 +1,77 @@
+//===- fuzz/Repro.h - Self-contained disagreement repros -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for differential-fuzzer repros: a complete Scenario
+/// (topology, both configurations, flows, property kind) plus the
+/// metadata of the disagreement that produced it, in a line-based format
+/// stable enough to check into tests/corpus/ and replay forever.
+///
+/// The topology section is serialized at the allocation level — switch
+/// and host names in id order, every global port's owning switch in port
+/// order, every directed link in insertion order — and parsing replays
+/// those allocations through addSwitch/addHost/addPort/addLink. Global
+/// port ids are handed out sequentially by the Topology, so this replay
+/// is the only way to reproduce them exactly; a parsed scenario satisfies
+/// digestOf(parsed) == digestOf(original).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NETUPD_FUZZ_REPRO_H
+#define NETUPD_FUZZ_REPRO_H
+
+#include "topo/Scenario.h"
+
+#include <optional>
+#include <string>
+
+namespace netupd {
+namespace fuzz {
+
+/// A minimized disagreement instance plus the context to understand it.
+struct Repro {
+  /// Fuzzer seed and iteration that produced the instance (0/0 when the
+  /// repro was authored by hand).
+  uint64_t Seed = 0;
+  unsigned Iter = 0;
+  /// One-line classification of the disagreement.
+  std::string Title;
+  /// The two matrix cells (or engine modes) that disagreed.
+  std::string CellA, CellB;
+  /// Expected-vs-got detail, free text.
+  std::string Detail;
+  /// The (minimized) instance itself.
+  Scenario S;
+};
+
+/// Renders \p S in the repro text format (scenario section only).
+std::string serializeScenario(const Scenario &S);
+
+/// Parses a scenario section; returns std::nullopt and fills \p Err on
+/// malformed input.
+std::optional<Scenario> parseScenario(const std::string &Text,
+                                      std::string *Err = nullptr);
+
+/// Renders a full repro file (header + scenario).
+std::string serializeRepro(const Repro &R);
+
+/// Parses a full repro file.
+std::optional<Repro> parseRepro(const std::string &Text,
+                                std::string *Err = nullptr);
+
+/// Reads and parses a repro file from disk; std::nullopt on I/O or parse
+/// failure.
+std::optional<Repro> loadReproFile(const std::string &Path,
+                                   std::string *Err = nullptr);
+
+/// Writes \p R to \p Path; returns false on I/O failure.
+bool saveReproFile(const Repro &R, const std::string &Path);
+
+} // namespace fuzz
+} // namespace netupd
+
+#endif // NETUPD_FUZZ_REPRO_H

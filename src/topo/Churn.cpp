@@ -1,0 +1,72 @@
+//===- topo/Churn.cpp - Rolling-maintenance churn traces -------*- C++ -*-===//
+//
+// Part of the netupd project, reproducing "Efficient Synthesis of Network
+// Updates" (McClurg et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "topo/Churn.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace netupd;
+
+namespace {
+
+/// Installs every flow of \p Base on the branch selected by \p OnFinal.
+Config configFor(const Scenario &Base, const std::vector<uint8_t> &OnFinal) {
+  Config C(Base.Topo.numSwitches());
+  for (size_t I = 0, E = Base.Flows.size(); I != E; ++I) {
+    const FlowSpec &F = Base.Flows[I];
+    installPath(Base.Topo, C, F.Class,
+                OnFinal[I] ? F.FinalPath : F.InitialPath, F.DstHost);
+  }
+  return C;
+}
+
+} // namespace
+
+std::optional<ChurnTrace> netupd::makeChurnTrace(const Topology &Base,
+                                                 Rng &R,
+                                                 const ChurnOptions &Opts) {
+  assert(Opts.NumFlows >= 1 && Opts.Steps >= 1 && "empty churn trace");
+  DiamondOptions DOpts = Opts.Diamond;
+  DOpts.NumFlows = Opts.NumFlows;
+  DOpts.DisjointFlows = true; // Reroutes must not disturb other flows.
+  std::optional<Scenario> BaseScenario =
+      makeDiamondScenarioRetrying(Base, R, Opts.Kind, DOpts);
+  if (!BaseScenario)
+    return std::nullopt;
+
+  ChurnTrace Trace;
+  Trace.Steps.reserve(Opts.Steps);
+  std::vector<uint8_t> OnFinal(Opts.NumFlows, 0);
+  Config Current = configFor(*BaseScenario, OnFinal);
+
+  for (unsigned Step = 0; Step != Opts.Steps; ++Step) {
+    size_t Flip = static_cast<size_t>(R.nextBelow(Opts.NumFlows));
+    std::vector<uint8_t> Next = OnFinal;
+    Next[Flip] ^= 1;
+    Config Target = configFor(*BaseScenario, Next);
+
+    Scenario S;
+    S.Topo = BaseScenario->Topo;
+    S.Kind = BaseScenario->Kind;
+    S.Initial = Current;
+    S.Final = Target;
+    S.Flows = BaseScenario->Flows;
+    // Keep the per-flow path diagnostics honest for this step: the flipped
+    // flow moves between its branches, every other flow stays put.
+    for (size_t I = 0, E = S.Flows.size(); I != E; ++I) {
+      const FlowSpec &F = BaseScenario->Flows[I];
+      S.Flows[I].InitialPath = OnFinal[I] ? F.FinalPath : F.InitialPath;
+      S.Flows[I].FinalPath = Next[I] ? F.FinalPath : F.InitialPath;
+    }
+    Trace.Steps.push_back(std::move(S));
+
+    OnFinal = std::move(Next);
+    Current = std::move(Target);
+  }
+  return Trace;
+}

@@ -45,6 +45,70 @@ Topology netupd::buildFatTree(unsigned K) {
   return T;
 }
 
+Topology netupd::buildClos(unsigned Leaves, unsigned Spines) {
+  assert(Leaves >= 1 && Spines >= 1 && "empty Clos tier");
+  Topology T;
+  std::vector<SwitchId> Spine, Leaf;
+  for (unsigned S = 0; S != Spines; ++S)
+    Spine.push_back(T.addSwitch(format("spine%u", S)));
+  for (unsigned L = 0; L != Leaves; ++L)
+    Leaf.push_back(T.addSwitch(format("leaf%u", L)));
+  for (SwitchId L : Leaf)
+    for (SwitchId S : Spine)
+      T.connectSwitches(L, S);
+  return T;
+}
+
+Topology netupd::buildWan(const WanParams &P, Rng &R) {
+  assert(P.Regions >= 1 && P.MeanRegionSize >= 3 &&
+         "WAN needs at least one region of >= 3 PoPs");
+  Topology T;
+
+  // Each region is a ring of PoPs with random chords; its switch 0 is
+  // the gateway PoP joined into the backbone.
+  std::vector<SwitchId> Gateways;
+  for (unsigned Reg = 0; Reg != P.Regions; ++Reg) {
+    // Sizes spread over [Mean/2, 3*Mean/2], floored at a 3-PoP ring.
+    unsigned Lo = std::max(3u, P.MeanRegionSize / 2);
+    unsigned Size =
+        Lo + static_cast<unsigned>(R.nextBelow(P.MeanRegionSize + 1));
+    std::vector<SwitchId> Pops;
+    for (unsigned I = 0; I != Size; ++I)
+      Pops.push_back(T.addSwitch(format("r%u_pop%u", Reg, I)));
+    Gateways.push_back(Pops[0]);
+    for (unsigned I = 0; I != Size; ++I)
+      T.connectSwitches(Pops[I], Pops[(I + 1) % Size]);
+    unsigned Chords =
+        static_cast<unsigned>(static_cast<double>(Size) * P.ChordFraction);
+    for (unsigned C = 0; C != Chords; ++C) {
+      unsigned A = static_cast<unsigned>(R.nextBelow(Size));
+      unsigned B = static_cast<unsigned>(R.nextBelow(Size));
+      // Skip self-loops and ring neighbours (already linked); duplicate
+      // chords are harmless (parallel ports) but wasteful, so tolerate
+      // only distinct pairs.
+      if (A == B || (A + 1) % Size == B || (B + 1) % Size == A)
+        continue;
+      T.connectSwitches(Pops[A], Pops[B]);
+    }
+  }
+
+  // Backbone: a ring over the gateways keeps the WAN connected, plus
+  // random long-haul links for redundancy.
+  if (P.Regions > 1) {
+    for (unsigned Reg = 0; Reg != P.Regions; ++Reg)
+      T.connectSwitches(Gateways[Reg], Gateways[(Reg + 1) % P.Regions]);
+    unsigned Extra = P.Regions * P.ExtraBackboneLinks;
+    for (unsigned L = 0; L != Extra; ++L) {
+      unsigned A = static_cast<unsigned>(R.nextBelow(P.Regions));
+      unsigned B = static_cast<unsigned>(R.nextBelow(P.Regions));
+      if (A == B || (A + 1) % P.Regions == B || (B + 1) % P.Regions == A)
+        continue;
+      T.connectSwitches(Gateways[A], Gateways[B]);
+    }
+  }
+  return T;
+}
+
 Topology netupd::buildSmallWorld(unsigned N, unsigned K, double P, Rng &R) {
   assert(N >= 4 && "small-world graphs need at least 4 nodes");
   assert(K >= 2 && K % 2 == 0 && K < N && "ring degree must be even and < N");

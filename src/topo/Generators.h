@@ -34,6 +34,33 @@ namespace netupd {
 /// is 5k^2/4 (k^2/2 edge + k^2/2 aggregation + k^2/4 core).
 Topology buildFatTree(unsigned K);
 
+/// Builds a two-level leaf-spine Clos fabric: \p Leaves leaf switches,
+/// each connected to every one of the \p Spines spine switches (full
+/// bipartite core). The workhorse of modern datacenter pods; at
+/// (Leaves=480, Spines=32) this is a 512-switch fabric.
+Topology buildClos(unsigned Leaves, unsigned Spines);
+
+/// Parameters for the hierarchical WAN generator.
+struct WanParams {
+  /// Number of metro regions (each a ring of PoPs with chords).
+  unsigned Regions = 8;
+  /// Mean PoPs per region; actual sizes are drawn in
+  /// [MeanRegionSize/2, 3*MeanRegionSize/2].
+  unsigned MeanRegionSize = 16;
+  /// Extra intra-region chords as a fraction of the region size.
+  double ChordFraction = 0.3;
+  /// Inter-region backbone links per region beyond the ring that keeps
+  /// the backbone connected (long-haul redundancy).
+  unsigned ExtraBackboneLinks = 1;
+};
+
+/// Builds a hierarchical WAN: \p P.Regions ring-with-chords metro
+/// regions whose gateway PoPs are joined by a connected backbone ring
+/// plus random long-haul links — the Zoo's continental-carrier shape,
+/// parameterized up to thousands of switches. Deterministic in (\p P,
+/// \p R's state).
+Topology buildWan(const WanParams &P, Rng &R);
+
 /// Builds a Watts-Strogatz small-world graph over \p N switches: each node
 /// is wired to its \p K nearest ring neighbours (K even), then each edge is
 /// rewired to a random endpoint with probability \p P. The graph stays

@@ -383,6 +383,32 @@ netupd::makeDoubleDiamondScenario(const Topology &Base, Rng &R,
   return S;
 }
 
+std::optional<Scenario>
+netupd::makeDiamondScenarioRetrying(const Topology &Base, Rng &R,
+                                    PropertyKind Kind,
+                                    const DiamondOptions &Opts,
+                                    unsigned Attempts) {
+  for (unsigned A = 0; A != Attempts; ++A) {
+    Rng Attempt = R.fork();
+    if (std::optional<Scenario> S =
+            makeDiamondScenario(Base, Attempt, Kind, Opts))
+      return S;
+  }
+  return std::nullopt;
+}
+
+std::optional<Scenario> netupd::makeDoubleDiamondScenarioRetrying(
+    const Topology &Base, Rng &R, const DiamondOptions &Opts,
+    PropertyKind Kind, unsigned Attempts) {
+  for (unsigned A = 0; A != Attempts; ++A) {
+    Rng Attempt = R.fork();
+    if (std::optional<Scenario> S =
+            makeDoubleDiamondScenario(Base, Attempt, Opts, Kind))
+      return S;
+  }
+  return std::nullopt;
+}
+
 Digest netupd::digestOf(const Scenario &S) {
   DigestBuilder B;
   B.addDigest(digestOf(S.Topo));

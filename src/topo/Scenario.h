@@ -96,6 +96,22 @@ makeDoubleDiamondScenario(const Topology &Base, Rng &R,
                           const DiamondOptions &Opts = {},
                           PropertyKind Kind = PropertyKind::Reachability);
 
+/// Bounded-retry wrapper around makeDiamondScenario: re-rolls with up to
+/// \p Attempts independent forks of \p R, so an unlucky internal draw
+/// (e.g. a random walk that fails disjointness MaxTries times) does not
+/// strand a bench or fuzz run. Returns std::nullopt only when every
+/// attempt fails — in practice, when \p Base has no diamond at all.
+std::optional<Scenario>
+makeDiamondScenarioRetrying(const Topology &Base, Rng &R, PropertyKind Kind,
+                            const DiamondOptions &Opts = {},
+                            unsigned Attempts = 16);
+
+/// Bounded-retry wrapper around makeDoubleDiamondScenario; same contract
+/// as makeDiamondScenarioRetrying.
+std::optional<Scenario> makeDoubleDiamondScenarioRetrying(
+    const Topology &Base, Rng &R, const DiamondOptions &Opts = {},
+    PropertyKind Kind = PropertyKind::Reachability, unsigned Attempts = 16);
+
 /// Counts the switches whose tables differ between the scenario's initial
 /// and final configurations — the "switches updating" measure of Fig. 8.
 unsigned numUpdatingSwitches(const Scenario &S);

@@ -17,9 +17,12 @@
 #include "ltl/TraceEval.h"
 #include "mc/LabelingChecker.h"
 #include "sim/Simulator.h"
+#include "engine/Engine.h"
 #include "synth/Baselines.h"
 #include "synth/OrderUpdate.h"
 #include "topo/Fig1.h"
+#include "topo/Generators.h"
+#include "topo/Scenario.h"
 
 #include "TestUtil.h"
 
@@ -230,4 +233,96 @@ TEST(IntegrationTest, NaiveBaselineDropsWhereOrderingDoesNot) {
                                      Phi, Checker);
   ASSERT_TRUE(Res.ok());
   EXPECT_EQ(replayAndCount(S, Phi, Res.Commands, 250), 0u);
+}
+
+/// A service-chain scenario driven end to end through the SynthEngine:
+/// the portfolio picks a winner, the winning sequence is careful at
+/// every intermediate configuration, and it lands on the final
+/// forwarding behaviour for the chained flow.
+TEST(IntegrationTest, ServiceChainScenarioThroughEngine) {
+  Rng R(1301);
+  Topology Base = buildSmallWorld(22, 4, 0.25, R);
+  std::optional<Scenario> S = makeDiamondScenarioRetrying(
+      Base, R, PropertyKind::ServiceChain);
+  ASSERT_TRUE(S.has_value());
+  ASSERT_FALSE(S->Flows[0].Waypoints.empty());
+
+  SynthJob Job;
+  Job.Name = "service-chain";
+  Job.S = *S;
+  Job.Portfolio = defaultPortfolio();
+
+  EngineOptions EO;
+  EO.NumWorkers = 2;
+  SynthEngine E(EO);
+  BatchReport BR = E.run({Job});
+  ASSERT_EQ(BR.Reports.size(), 1u);
+  const SynthReport &Rep = BR.Reports[0];
+  ASSERT_EQ(Rep.Result.Status, SynthStatus::Success) << Rep.Winner;
+  EXPECT_FALSE(Rep.Winner.empty());
+
+  FormulaFactory FF;
+  Formula Phi = S->buildProperty(FF);
+  EXPECT_TRUE(allIntermediateConfigsHold(S->Topo, S->Initial, S->classes(),
+                                         Phi, Rep.Result.Commands));
+
+  // The sequence reaches the final forwarding behaviour (semantically:
+  // rule-granularity winners may order a table's rules differently).
+  Config Cur = S->Initial;
+  for (const Command &C : Rep.Result.Commands)
+    if (C.K == Command::Kind::Update)
+      Cur.setTable(C.Sw, C.NewTable);
+  for (SwitchId Sw : diffSwitches(Cur, S->Final))
+    for (const TrafficClass &TC : S->classes())
+      for (PortId Pt : S->Topo.switchPorts(Sw))
+        EXPECT_EQ(Cur.table(Sw).apply(TC.Hdr, Pt),
+                  S->Final.table(Sw).apply(TC.Hdr, Pt));
+}
+
+/// A batch of multi-flow scenarios (three disjoint flows each, mixed
+/// property kinds) through the engine: every job synthesizes, reports
+/// stay in job order, and every winning sequence is careful for the
+/// conjunction of its flows' properties.
+TEST(IntegrationTest, MultiFlowBatchThroughEngine) {
+  std::vector<SynthJob> Jobs;
+  std::vector<Scenario> Kept;
+  PropertyKind Kinds[] = {PropertyKind::Reachability,
+                          PropertyKind::Waypoint,
+                          PropertyKind::ServiceChain};
+  for (uint64_t Seed = 1401; Seed != 1409 && Jobs.size() < 4; ++Seed) {
+    Rng R(Seed);
+    Topology Base = buildSmallWorld(26, 4, 0.25, R);
+    DiamondOptions Opts;
+    Opts.NumFlows = 3;
+    std::optional<Scenario> S = makeDiamondScenarioRetrying(
+        Base, R, Kinds[Jobs.size() % 3], Opts);
+    if (!S)
+      continue;
+    SynthJob J;
+    J.Name = "multiflow" + std::to_string(Jobs.size());
+    J.S = *S;
+    J.Portfolio = defaultPortfolio();
+    Jobs.push_back(J);
+    Kept.push_back(*S);
+  }
+  ASSERT_GE(Jobs.size(), 3u);
+
+  EngineOptions EO;
+  EO.NumWorkers = 2;
+  SynthEngine E(EO);
+  BatchReport BR = E.run(Jobs);
+  ASSERT_EQ(BR.Reports.size(), Jobs.size());
+  for (size_t I = 0; I != BR.Reports.size(); ++I) {
+    const SynthReport &Rep = BR.Reports[I];
+    EXPECT_EQ(Rep.JobIndex, I);
+    EXPECT_EQ(Rep.JobName, Jobs[I].Name);
+    ASSERT_EQ(Rep.Result.Status, SynthStatus::Success) << Jobs[I].Name;
+    EXPECT_EQ(Kept[I].Flows.size(), 3u);
+    FormulaFactory FF;
+    Formula Phi = Kept[I].buildProperty(FF);
+    EXPECT_TRUE(allIntermediateConfigsHold(Kept[I].Topo, Kept[I].Initial,
+                                           Kept[I].classes(), Phi,
+                                           Rep.Result.Commands))
+        << Jobs[I].Name;
+  }
 }
