@@ -1,0 +1,86 @@
+# Configure-time checks for the thread-safety annotation layer
+# (support/ThreadAnnotations.h), run over the snippets in
+# tests/annotations/:
+#
+#   fail_*.cpp   locking-discipline violations. On Clang with
+#                -Wthread-safety -Werror each one must FAIL to compile
+#                (the analysis catches the bug); on every other compiler
+#                each must COMPILE cleanly (the macros are no-ops and
+#                must never break a build).
+#   pass_*.cpp   the repo's locking idioms. Must compile under every
+#                compiler and, on Clang, under -Wthread-safety -Werror —
+#                a failure here means the *wrappers'* annotations are
+#                wrong.
+#
+# Any violated expectation is a FATAL_ERROR at configure time, so the
+# clang CI lane cannot go green with a silently toothless analysis.
+
+function(netupd_try_annotation_snippet SNIPPET EXTRA_FLAGS RESULT_VAR LOG_VAR)
+  try_compile(
+    _NETUPD_SNIPPET_OK
+    ${CMAKE_BINARY_DIR}/annotation_checks
+    ${SNIPPET}
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+    COMPILE_DEFINITIONS "${EXTRA_FLAGS}"
+    CXX_STANDARD 17
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _NETUPD_SNIPPET_LOG)
+  set(${RESULT_VAR} ${_NETUPD_SNIPPET_OK} PARENT_SCOPE)
+  set(${LOG_VAR} "${_NETUPD_SNIPPET_LOG}" PARENT_SCOPE)
+endfunction()
+
+function(netupd_run_annotation_checks)
+  file(GLOB _FAIL_SNIPPETS
+       ${CMAKE_CURRENT_SOURCE_DIR}/tests/annotations/fail_*.cpp)
+  file(GLOB _PASS_SNIPPETS
+       ${CMAKE_CURRENT_SOURCE_DIR}/tests/annotations/pass_*.cpp)
+
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    set(_TSA_FLAGS "-Wthread-safety -Werror")
+    set(_MODE "clang: violations must fail, idioms must pass")
+  else()
+    # Off-Clang the annotations are no-ops: everything, including the
+    # deliberate violations, must compile (with the project's warning
+    # set made fatal, pinning that the macros emit no warnings either).
+    set(_TSA_FLAGS "-Wall -Wextra -Werror")
+    set(_MODE "non-clang: all snippets must compile (macros are no-ops)")
+  endif()
+  message(STATUS "Annotation checks (${_MODE})")
+
+  foreach(_SNIPPET ${_FAIL_SNIPPETS})
+    get_filename_component(_NAME ${_SNIPPET} NAME)
+    netupd_try_annotation_snippet(${_SNIPPET} "${_TSA_FLAGS}" _OK _LOG)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      if(_OK)
+        message(FATAL_ERROR
+          "Annotation check: ${_NAME} compiled under -Wthread-safety "
+          "-Werror but encodes a locking-discipline violation — the "
+          "thread-safety analysis is not catching it (annotation "
+          "regression in support/ThreadAnnotations.h?)")
+      endif()
+      message(STATUS "  ${_NAME}: rejected by -Wthread-safety (good)")
+    else()
+      if(NOT _OK)
+        message(FATAL_ERROR
+          "Annotation check: ${_NAME} failed to compile on a non-Clang "
+          "compiler — the annotation macros must be no-ops there.\n"
+          "${_LOG}")
+      endif()
+      message(STATUS "  ${_NAME}: compiles with no-op macros (good)")
+    endif()
+  endforeach()
+
+  foreach(_SNIPPET ${_PASS_SNIPPETS})
+    get_filename_component(_NAME ${_SNIPPET} NAME)
+    netupd_try_annotation_snippet(${_SNIPPET} "${_TSA_FLAGS}" _OK _LOG)
+    if(NOT _OK)
+      message(FATAL_ERROR
+        "Annotation check: ${_NAME} must compile (it uses the sanctioned "
+        "locking idioms) but failed:\n${_LOG}")
+    endif()
+    message(STATUS "  ${_NAME}: compiles (good)")
+  endforeach()
+endfunction()
+
+netupd_run_annotation_checks()

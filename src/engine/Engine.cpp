@@ -206,15 +206,16 @@ Digest netupd::digestOf(const SynthJob &Job) {
 bool JobHandle::done() const {
   if (!St)
     return false;
-  std::lock_guard<std::mutex> Lock(St->M);
+  MutexLock Lock(St->M);
   return St->Done;
 }
 
 const SynthReport &JobHandle::wait() const {
   assert(St && "waiting on an invalid handle");
-  std::unique_lock<std::mutex> Lock(St->M);
-  St->CV.wait(Lock, [&] { return St->Done; });
-  return St->Rep;
+  MutexLock Lock(St->M);
+  while (!St->Done)
+    St->CV.wait(St->M);
+  return St->Rep; // Published by the Done latch; see JobState::Rep.
 }
 
 void JobHandle::cancel() {
@@ -274,7 +275,7 @@ SynthEngine::SynthEngine(EngineOptions InitOpts) : Opts(std::move(InitOpts)) {
 
 SynthEngine::~SynthEngine() {
   {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
+    MutexLock Lock(QueueMutex);
     ShuttingDown = true;
   }
   QueueCV.notify_all();
@@ -284,7 +285,7 @@ SynthEngine::~SynthEngine() {
   // Complete whatever never ran so outstanding handles unblock.
   std::deque<std::shared_ptr<detail::JobState>> Orphans;
   {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
+    MutexLock Lock(QueueMutex);
     Orphans.swap(Queue);
   }
   for (const std::shared_ptr<detail::JobState> &St : Orphans) {
@@ -293,7 +294,7 @@ SynthEngine::~SynthEngine() {
     Rep.JobName = St->Job.Name;
     Rep.Result.Status = SynthStatus::Aborted;
     {
-      std::lock_guard<std::mutex> Lock(St->M);
+      MutexLock Lock(St->M);
       St->Rep = std::move(Rep);
       St->Done = true;
     }
@@ -311,7 +312,7 @@ JobHandle SynthEngine::submit(SynthJob Job) {
   St->Job = std::move(Job);
   bool Rejected = false;
   {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
+    MutexLock Lock(QueueMutex);
     St->Index = NextIndex++;
     if (ShuttingDown) {
       Rejected = true;
@@ -325,7 +326,7 @@ JobHandle SynthEngine::submit(SynthJob Job) {
     }
   }
   if (Rejected) {
-    std::lock_guard<std::mutex> Lock(St->M);
+    MutexLock Lock(St->M);
     St->Rep.JobIndex = St->Index;
     St->Rep.JobName = St->Job.Name;
     St->Rep.Result.Status = SynthStatus::Aborted;
@@ -340,9 +341,13 @@ void SynthEngine::workerLoop() {
   for (;;) {
     std::shared_ptr<detail::JobState> St;
     {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
+      MutexLock Lock(QueueMutex);
       ++IdleWorkers;
-      QueueCV.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+      // An explicit loop (not a predicate lambda): the analysis checks
+      // these guarded reads against the held QueueMutex, which it cannot
+      // do through a closure.
+      while (!ShuttingDown && Queue.empty())
+        QueueCV.wait(QueueMutex);
       --IdleWorkers;
       if (ShuttingDown)
         return; // Destructor drains what is left.
@@ -416,7 +421,7 @@ void SynthEngine::executeJob(detail::JobState &St) {
   JobLatency.recordSeconds(JobClock.seconds());
 
   {
-    std::lock_guard<std::mutex> Lock(St.M);
+    MutexLock Lock(St.M);
     St.Rep = std::move(Rep);
     St.Done = true;
   }

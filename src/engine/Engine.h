@@ -93,11 +93,10 @@
 #include "engine/Job.h"
 #include "engine/StopToken.h"
 #include "support/ShardedCache.h"
+#include "support/ThreadAnnotations.h"
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 namespace netupd {
@@ -161,6 +160,10 @@ namespace detail {
 /// Shared state of one submitted job; the handle and the worker hold it
 /// jointly, so a handle stays valid after the engine is destroyed.
 struct JobState {
+  /// Job/Index/Cancel/EnqueuedNs are written once by submit() before the
+  /// state is published into the queue and read-only afterwards — the
+  /// queue handoff (QueueMutex release/acquire) is their ordering edge,
+  /// so they carry no capability annotation.
   SynthJob Job;
   size_t Index = 0;
   StopSource Cancel;
@@ -169,9 +172,15 @@ struct JobState {
   /// histogram.
   uint64_t EnqueuedNs = 0;
 
-  std::mutex M;
-  std::condition_variable CV;
-  bool Done = false;
+  Mutex M;
+  CondVar CV;
+  bool Done NETUPD_GUARDED_BY(M) = false;
+  /// The report. Written by exactly one worker strictly before it sets
+  /// Done under M; readers (JobHandle::wait) first observe Done under M,
+  /// then read Rep lock-free — the Done latch is the publication edge.
+  /// Left unannotated deliberately: wait() returns a long-lived
+  /// reference, which a GUARDED_BY would (correctly) reject even though
+  /// the latch protocol makes it safe.
   SynthReport Rep;
 };
 } // namespace detail
@@ -253,16 +262,22 @@ private:
   uint64_t CacheStatsToken = 0;
   uint64_t LearnStatsToken = 0;
 
-  std::mutex QueueMutex;
-  std::condition_variable QueueCV;
-  std::deque<std::shared_ptr<detail::JobState>> Queue;
-  bool ShuttingDown = false;
-  size_t NextIndex = 0;
-  /// Workers blocked waiting for a job; guarded by QueueMutex. submit()
-  /// only spawns a new thread (up to Workers) when no idle worker can
-  /// take the job, so small workloads never pay for the full pool.
-  unsigned IdleWorkers = 0;
+  Mutex QueueMutex;
+  CondVar QueueCV;
+  std::deque<std::shared_ptr<detail::JobState>> Queue
+      NETUPD_GUARDED_BY(QueueMutex);
+  bool ShuttingDown NETUPD_GUARDED_BY(QueueMutex) = false;
+  size_t NextIndex NETUPD_GUARDED_BY(QueueMutex) = 0;
+  /// Workers blocked waiting for a job. submit() only spawns a new
+  /// thread (up to Workers) when no idle worker can take the job, so
+  /// small workloads never pay for the full pool.
+  unsigned IdleWorkers NETUPD_GUARDED_BY(QueueMutex) = 0;
 
+  /// The pool threads. Appended under QueueMutex by submit(); joined by
+  /// the destructor strictly after the ShuttingDown handshake, with
+  /// QueueMutex released (joining under the lock would deadlock against
+  /// workers re-acquiring it to exit their wait). That join-outside-lock
+  /// step is why this is a documented handshake rather than GUARDED_BY.
   std::vector<std::thread> Pool;
 };
 

@@ -41,6 +41,8 @@ public:
   /// each flag only ever goes false -> true, and observers act on it by
   /// abandoning work, not by reading data published alongside it.
   bool stopRequested() const {
+    // relaxed: monotone false->true flag; observers only abandon work,
+    // no data is published alongside the flag (see doc comment above).
     for (const auto &F : Flags)
       if (F->load(std::memory_order_relaxed))
         return true;
@@ -75,10 +77,11 @@ public:
   StopSource() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
 
   /// Requests cancellation; idempotent and thread-safe.
+  // relaxed: monotone false->true flag; no payload rides on it.
   void requestStop() { Flag->store(true, std::memory_order_relaxed); }
 
   bool stopRequested() const {
-    return Flag->load(std::memory_order_relaxed);
+    return Flag->load(std::memory_order_relaxed); // relaxed: same flag
   }
 
   /// A token observing this source.

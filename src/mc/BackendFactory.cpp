@@ -16,7 +16,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <mutex>
 
 using namespace netupd;
 
@@ -28,13 +27,6 @@ std::string lowered(const std::string &Name) {
     return static_cast<char>(std::tolower(C));
   });
   return Out;
-}
-
-/// Guards the registry: engine workers create() backends concurrently
-/// while tests may registerBackend() custom configurations.
-std::mutex &registryMutex() {
-  static std::mutex M;
-  return M;
 }
 
 /// The memoization spec prefix: "memo:<backend>" wraps <backend> in a
@@ -49,6 +41,9 @@ bool isMemoSpec(const std::string &LoweredName) {
 } // namespace
 
 BackendFactory::BackendFactory() {
+  // The magic-static construction in instance() is single-threaded, but
+  // taking the lock keeps the constructor inside the checked discipline.
+  MutexLock Lock(RegistryM);
   Entries.emplace_back("incremental", [](const Scenario &) {
     return std::make_unique<LabelingChecker>(
         LabelingChecker::Mode::Incremental);
@@ -74,7 +69,7 @@ BackendFactory &BackendFactory::instance() {
 
 void BackendFactory::registerBackend(const std::string &Name,
                                      BackendCtor Ctor) {
-  std::lock_guard<std::mutex> Lock(registryMutex());
+  MutexLock Lock(RegistryM);
   std::string Key = lowered(Name);
   for (auto &[EntryName, EntryCtor] : Entries) {
     if (EntryName == Key) {
@@ -97,7 +92,7 @@ BackendFactory::create(const std::string &Name, const Scenario &S) const {
   }
   BackendCtor Ctor;
   {
-    std::lock_guard<std::mutex> Lock(registryMutex());
+    MutexLock Lock(RegistryM);
     for (const auto &[EntryName, EntryCtor] : Entries)
       if (EntryName == Key)
         Ctor = EntryCtor;
@@ -109,13 +104,13 @@ bool BackendFactory::known(const std::string &Name) const {
   std::string Key = lowered(Name);
   if (isMemoSpec(Key))
     return known(Key.substr(MemoPrefixLen));
-  std::lock_guard<std::mutex> Lock(registryMutex());
+  MutexLock Lock(RegistryM);
   return std::any_of(Entries.begin(), Entries.end(),
                      [&](const auto &E) { return E.first == Key; });
 }
 
 std::vector<std::string> BackendFactory::names() const {
-  std::lock_guard<std::mutex> Lock(registryMutex());
+  MutexLock Lock(RegistryM);
   std::vector<std::string> Out;
   Out.reserve(Entries.size());
   for (const auto &[EntryName, EntryCtor] : Entries)

@@ -32,6 +32,7 @@
 #define NETUPD_MC_BACKENDFACTORY_H
 
 #include "mc/CheckerBackend.h"
+#include "support/ThreadAnnotations.h"
 
 #include <functional>
 #include <memory>
@@ -70,7 +71,13 @@ public:
 private:
   BackendFactory();
 
-  std::vector<std::pair<std::string, BackendCtor>> Entries;
+  /// Guards the registry: engine workers create() backends concurrently
+  /// while tests may registerBackend() custom configurations. An
+  /// instance member (not the previous file-static free mutex) so the
+  /// analysis can tie Entries to its capability.
+  mutable Mutex RegistryM;
+  std::vector<std::pair<std::string, BackendCtor>> Entries
+      NETUPD_GUARDED_BY(RegistryM);
 };
 
 } // namespace netupd

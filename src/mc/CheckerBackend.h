@@ -134,6 +134,7 @@ public:
   /// read a racing backend's progress; a backend itself is still
   /// single-threaded.
   unsigned numQueries() const {
+    // relaxed: statistics counter; a racing reader sees some recent count.
     return Queries.load(std::memory_order_relaxed);
   }
 

@@ -69,6 +69,7 @@ CheckResult MemoizingChecker::bindImpl(KripkeStructure &Structure, Formula F) {
   }
   ++Misses;
   CheckResult Res = Inner->bind(Structure, F);
+  // relaxed: statistics mirror of the inner backend's counter.
   Queries.store(Inner->numQueries(), std::memory_order_relaxed);
   SyncedDepth = 0;
   Cache->store(currentKey(), Res);
@@ -105,6 +106,7 @@ CheckResult MemoizingChecker::recheckImpl(const UpdateInfo &Update) {
     Res = Inner->bind(*K, Phi);
     Frames.push_back(FrameKind::Rebind);
   }
+  // relaxed: statistics mirror of the inner backend's counter.
   Queries.store(Inner->numQueries(), std::memory_order_relaxed);
   SyncedDepth = static_cast<long>(Frames.size());
   Cache->store(Key, Res);

@@ -46,59 +46,68 @@ std::string formatMs(uint64_t Ns) {
 
 } // namespace
 
+// relaxed: an on/off instrumentation flag; a briefly stale read only
+// delays when profiling starts or stops, never affects a verdict.
 bool detailEnabled() { return Detail.load(std::memory_order_relaxed); }
 
 void setDetail(bool Enabled) {
-  Detail.store(Enabled, std::memory_order_relaxed);
+  Detail.store(Enabled, std::memory_order_relaxed); // relaxed: same flag
 }
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex M;
-  std::map<std::string, std::unique_ptr<Counter>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  mutable Mutex M;
+  // Name -> metric maps. The pointees are deliberately NOT guarded: a
+  // returned Counter&/Gauge&/Histogram& is all-atomic internally and
+  // stays valid for the process lifetime; M guards only the maps.
+  std::map<std::string, std::unique_ptr<Counter>> Counters
+      NETUPD_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges NETUPD_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms
+      NETUPD_GUARDED_BY(M);
   struct Provider {
     uint64_t Token;
     std::function<CacheSample()> Sample;
   };
-  std::map<std::string, Provider> Providers;
-  uint64_t NextToken = 1;
+  std::map<std::string, Provider> Providers NETUPD_GUARDED_BY(M);
+  uint64_t NextToken NETUPD_GUARDED_BY(M) = 1;
 };
 
 MetricsRegistry &MetricsRegistry::instance() {
-  static MetricsRegistry *R = new MetricsRegistry; // Leaked deliberately:
-  return *R; // metrics outlive any destruction order at process exit.
+  // lint: naked-new-ok — leaked deliberately: metrics outlive any static
+  // destruction order at process exit.
+  static MetricsRegistry *R = new MetricsRegistry;
+  return *R;
 }
 
 MetricsRegistry::Impl &MetricsRegistry::impl() const {
-  static Impl *I = new Impl;
+  static Impl *I = new Impl; // lint: naked-new-ok — same deliberate leak
   return *I;
 }
 
 Counter &MetricsRegistry::counter(const std::string &Name) {
   Impl &I = impl();
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   auto &Slot = I.Counters[Name];
   if (!Slot)
-    Slot.reset(new Counter());
+    Slot = std::make_unique<Counter>();
   return *Slot;
 }
 
 Gauge &MetricsRegistry::gauge(const std::string &Name) {
   Impl &I = impl();
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   auto &Slot = I.Gauges[Name];
   if (!Slot)
-    Slot.reset(new Gauge());
+    Slot = std::make_unique<Gauge>();
   return *Slot;
 }
 
 Histogram &MetricsRegistry::histogram(const std::string &Name) {
   Impl &I = impl();
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   auto &Slot = I.Histograms[Name];
   if (!Slot)
-    Slot.reset(new Histogram());
+    Slot = std::make_unique<Histogram>();
   return *Slot;
 }
 
@@ -106,7 +115,7 @@ uint64_t
 MetricsRegistry::registerCacheStats(const std::string &Name,
                                     std::function<CacheSample()> Sample) {
   Impl &I = impl();
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   uint64_t Token = I.NextToken++;
   I.Providers[Name] = Impl::Provider{Token, std::move(Sample)};
   return Token;
@@ -114,7 +123,7 @@ MetricsRegistry::registerCacheStats(const std::string &Name,
 
 void MetricsRegistry::unregisterCacheStats(uint64_t Token) {
   Impl &I = impl();
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   for (auto It = I.Providers.begin(); It != I.Providers.end(); ++It) {
     if (It->second.Token == Token) {
       I.Providers.erase(It);
@@ -130,7 +139,7 @@ std::string MetricsRegistry::snapshotJson() const {
   // ours.
   std::vector<std::pair<std::string, std::function<CacheSample()>>> Samplers;
   {
-    std::lock_guard<std::mutex> Lock(I.M);
+    MutexLock Lock(I.M);
     for (const auto &P : I.Providers)
       Samplers.emplace_back(P.first, P.second.Sample);
   }
@@ -138,7 +147,7 @@ std::string MetricsRegistry::snapshotJson() const {
   for (auto &S : Samplers)
     Caches.emplace_back(S.first, S.second());
 
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   std::string Out = "{\"counters\":{";
   bool First = true;
   char Buf[64];
@@ -189,7 +198,7 @@ std::string MetricsRegistry::snapshotJson() const {
 
 void MetricsRegistry::resetAll() {
   Impl &I = impl();
-  std::lock_guard<std::mutex> Lock(I.M);
+  MutexLock Lock(I.M);
   for (auto &C : I.Counters)
     C.second->reset();
   for (auto &G : I.Gauges)

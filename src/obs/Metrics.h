@@ -36,6 +36,7 @@
 #define NETUPD_OBS_METRICS_H
 
 #include "obs/Trace.h" // nowNs(), the shared time base.
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cstdint>
@@ -56,6 +57,8 @@ void setDetail(bool Enabled);
 /// atomics; safe from any thread.
 class Counter {
 public:
+  // relaxed: statistics only — each metric is an independent monotone
+  // count; readers tolerate torn cross-metric views, never a torn value.
   void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
   uint64_t value() const { return V.load(std::memory_order_relaxed); }
   void reset() { V.store(0, std::memory_order_relaxed); }
@@ -67,6 +70,8 @@ private:
 /// A last-value-wins instantaneous value.
 class Gauge {
 public:
+  // relaxed: statistics only — last-value-wins by design, no ordering
+  // relationship with any other state.
   void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
   void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
   int64_t value() const { return V.load(std::memory_order_relaxed); }
@@ -95,6 +100,8 @@ public:
 
   void record(uint64_t Ns) {
     Stripe &S = Stripes[stripeIndex()];
+    // relaxed: per-stripe statistics; aggregation tolerates skew between
+    // bucket and sum updates (count/sum are advisory, never a verdict).
     S.Buckets[bucketOf(Ns)].fetch_add(1, std::memory_order_relaxed);
     S.Sum.fetch_add(Ns, std::memory_order_relaxed);
   }
@@ -104,6 +111,7 @@ public:
 
   uint64_t count() const {
     uint64_t N = 0;
+    // relaxed: statistical read; a sample racing the sum is acceptable.
     for (const Stripe &S : Stripes)
       for (const auto &B : S.Buckets)
         N += B.load(std::memory_order_relaxed);
@@ -111,12 +119,14 @@ public:
   }
   uint64_t sumNs() const {
     uint64_t N = 0;
+    // relaxed: statistical read; a sample racing the sum is acceptable.
     for (const Stripe &S : Stripes)
       N += S.Sum.load(std::memory_order_relaxed);
     return N;
   }
   uint64_t bucketCount(unsigned I) const {
     uint64_t N = 0;
+    // relaxed: statistical read; a sample racing the sum is acceptable.
     for (const Stripe &S : Stripes)
       N += S.Buckets[I].load(std::memory_order_relaxed);
     return N;
@@ -144,6 +154,8 @@ public:
   uint64_t percentileNs(double P) const {
     uint64_t Counts[NumBuckets] = {};
     uint64_t Total = 0;
+    // relaxed: percentile estimate over an in-flight histogram; exactness
+    // is already bounded by the power-of-two buckets.
     for (const Stripe &S : Stripes)
       for (unsigned I = 0; I < NumBuckets; ++I)
         Counts[I] += S.Buckets[I].load(std::memory_order_relaxed);
@@ -164,6 +176,8 @@ public:
   }
 
   void reset() {
+    // relaxed: zeroing statistics; concurrent recorders may land on
+    // either side of the reset, which tests and benches accept.
     for (Stripe &S : Stripes) {
       for (auto &B : S.Buckets)
         B.store(0, std::memory_order_relaxed);
@@ -183,6 +197,7 @@ private:
   /// the stripe pick is one thread_local read per record.
   static unsigned stripeIndex() {
     static std::atomic<unsigned> Next{0};
+    // relaxed: round-robin ticket; any interleaving yields a valid slot.
     thread_local unsigned Slot =
         Next.fetch_add(1, std::memory_order_relaxed) % NumStripes;
     return Slot;
@@ -194,7 +209,16 @@ private:
 /// Acquires \p M, recording the time spent blocked into \p H when the
 /// detail tier is on. The uncontended detail-on path is a try_lock with
 /// no clock read, so profiling mostly prices the waits, not the locks.
-template <typename MutexT> void timedLock(MutexT &M, Histogram &H) {
+///
+/// This is THE sanctioned NO_THREAD_SAFETY_ANALYSIS site (see the
+/// suppression policy in support/ThreadAnnotations.h): the analysis
+/// cannot merge the three branch-dependent acquisition paths, but the
+/// ACQUIRE interface annotation still tells every caller the capability
+/// is held on return — callers pair it with an adopting scoped lock and
+/// stay fully checked.
+template <typename MutexT>
+void timedLock(MutexT &M, Histogram &H) NETUPD_ACQUIRE(M)
+    NETUPD_NO_THREAD_SAFETY_ANALYSIS {
   if (!detailEnabled()) {
     M.lock();
     return;
@@ -206,8 +230,11 @@ template <typename MutexT> void timedLock(MutexT &M, Histogram &H) {
   H.record(nowNs() - T0);
 }
 
-/// timedLock for the shared (reader) side of a std::shared_mutex.
-template <typename MutexT> void timedLockShared(MutexT &M, Histogram &H) {
+/// timedLock for the shared (reader) side of a SharedMutex. Same
+/// sanctioned suppression as timedLock above.
+template <typename MutexT>
+void timedLockShared(MutexT &M, Histogram &H) NETUPD_ACQUIRE_SHARED(M)
+    NETUPD_NO_THREAD_SAFETY_ANALYSIS {
   if (!detailEnabled()) {
     M.lock_shared();
     return;

@@ -7,6 +7,8 @@
 
 #include "obs/Trace.h"
 
+#include "support/ThreadAnnotations.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -41,6 +43,8 @@ struct ThreadBuffer {
 
   void record(const char *Name, uint64_t StartNs, uint64_t DurNs,
               uint32_t Depth) {
+    // relaxed: single-writer ring — only the owning thread stores; the
+    // release on WriteIdx below is the sole publication edge readers need.
     uint64_t I = WriteIdx.load(std::memory_order_relaxed);
     Slot &S = Slots[I % RingCapacity];
     S.Name.store(Name, std::memory_order_relaxed);
@@ -67,6 +71,9 @@ struct ThreadBuffer {
     for (uint64_t I = Begin; I < End; ++I) {
       const Slot &S = Slots[I % RingCapacity];
       SpanRecord R;
+      // relaxed: field reads are ordered by the acquire of WriteIdx above;
+      // slots the writer reused meanwhile are discarded by the re-read
+      // of the cursor after the copy loop.
       R.Name = S.Name.load(std::memory_order_relaxed);
       R.StartNs = S.StartNs.load(std::memory_order_relaxed);
       R.DurNs = S.DurNs.load(std::memory_order_relaxed);
@@ -97,13 +104,13 @@ struct ThreadBuffer {
 /// thread exited; new threads adopt pooled buffers so span storage stays
 /// proportional to peak concurrency, not total threads ever created.
 struct Registry {
-  std::mutex M;
-  std::vector<std::shared_ptr<ThreadBuffer>> All;
-  std::vector<std::shared_ptr<ThreadBuffer>> Free;
-  uint32_t NextTid = 0;
+  Mutex M;
+  std::vector<std::shared_ptr<ThreadBuffer>> All NETUPD_GUARDED_BY(M);
+  std::vector<std::shared_ptr<ThreadBuffer>> Free NETUPD_GUARDED_BY(M);
+  uint32_t NextTid NETUPD_GUARDED_BY(M) = 0;
 
   std::shared_ptr<ThreadBuffer> acquire() {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (!Free.empty()) {
       auto B = std::move(Free.back());
       Free.pop_back();
@@ -115,13 +122,14 @@ struct Registry {
   }
 
   void release(std::shared_ptr<ThreadBuffer> B) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Free.push_back(std::move(B));
   }
 };
 
 Registry &registry() {
-  static Registry *R = new Registry; // Leaked: spans outlive exit order.
+  // lint: naked-new-ok — leaked deliberately: spans outlive exit order.
+  static Registry *R = new Registry;
   return *R;
 }
 
@@ -175,11 +183,13 @@ void appendJsonEscaped(std::string &Out, const char *S) {
 
 } // namespace
 
+// relaxed: an on/off instrumentation flag; a stale read only delays when
+// tracing starts or stops, never affects a verdict.
 bool tracingEnabled() { return Enabled.load(std::memory_order_relaxed); }
 
 void setTracing(bool On) {
   (void)traceEpoch(); // Pin the epoch before the first span.
-  Enabled.store(On, std::memory_order_relaxed);
+  Enabled.store(On, std::memory_order_relaxed); // relaxed: same flag
 }
 
 uint64_t nowNs() {
@@ -203,7 +213,7 @@ std::vector<SpanRecord> snapshotSpans() {
   std::vector<std::shared_ptr<ThreadBuffer>> Bufs;
   {
     Registry &R = registry();
-    std::lock_guard<std::mutex> Lock(R.M);
+    MutexLock Lock(R.M);
     Bufs = R.All;
   }
   std::vector<SpanRecord> Out;
@@ -254,7 +264,7 @@ bool writeChromeTrace(const std::string &Path) {
 
 void clearSpans() {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   for (auto &B : R.All) {
     uint64_t End = B->WriteIdx.load(std::memory_order_acquire);
     B->ClearedBelow.store(End, std::memory_order_release);
@@ -263,7 +273,7 @@ void clearSpans() {
 
 uint64_t droppedSpans() {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   uint64_t Dropped = 0;
   for (auto &B : R.All) {
     uint64_t End = B->WriteIdx.load(std::memory_order_acquire);

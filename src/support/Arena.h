@@ -116,6 +116,8 @@ private:
       }
     }
     size_t Bytes = Need > ChunkBytes ? Need : ChunkBytes;
+    // lint: naked-new-ok — wrapped into unique_ptr on the same line;
+    // make_unique would zero-initialize the chunk, which the arena skips.
     Chunks.push_back({std::unique_ptr<char[]>(new char[Bytes]), Bytes});
     NextChunk = Chunks.size();
     Cursor = reinterpret_cast<uintptr_t>(Chunks.back().Mem.get());

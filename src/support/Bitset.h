@@ -45,7 +45,7 @@ public:
   explicit Bitset(size_t NumBits) : NumBits(NumBits) {
     NW = static_cast<uint32_t>(numWords(NumBits));
     if (NW > InlineWords) {
-      Heap = new uint64_t[NW];
+      Heap = new uint64_t[NW]; // lint: naked-new-ok — SBO buffer, RAII-owned
       HeapCap = NW;
     }
     std::memset(words(), 0, NW * sizeof(uint64_t));
@@ -53,7 +53,7 @@ public:
 
   Bitset(const Bitset &O) : NumBits(O.NumBits), NW(O.NW) {
     if (NW > InlineWords) {
-      Heap = new uint64_t[NW];
+      Heap = new uint64_t[NW]; // lint: naked-new-ok — SBO buffer, RAII-owned
       HeapCap = NW;
     }
     std::memcpy(words(), O.words(), NW * sizeof(uint64_t));
@@ -77,6 +77,7 @@ public:
     // Reuse the existing buffer when it fits — assignment into a
     // recycled Bitset (DFS frames, pool entries) is then allocation-free.
     if (O.NW > capacityWords()) {
+      // lint: naked-new-ok — SBO buffer swap, RAII-owned by this Bitset
       uint64_t *NewHeap = new uint64_t[O.NW];
       if (HeapCap)
         delete[] Heap;
@@ -121,6 +122,7 @@ public:
   void resize(size_t NewNumBits) {
     uint32_t NewNW = static_cast<uint32_t>(numWords(NewNumBits));
     if (NewNW > capacityWords()) {
+      // lint: naked-new-ok — SBO buffer swap, RAII-owned by this Bitset
       uint64_t *NewHeap = new uint64_t[NewNW];
       std::memcpy(NewHeap, words(), NW * sizeof(uint64_t));
       if (HeapCap)

@@ -34,13 +34,13 @@
 
 #include "obs/Metrics.h"
 #include "support/Bitset.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -63,7 +63,7 @@ public:
     size_t H = Hash()(V);
     Stripe &S = stripeFor(H);
     obs::timedLock(S.M, lockWait());
-    std::lock_guard<std::mutex> Lock(S.M, std::adopt_lock);
+    MutexLock Lock(S.M, std::adopt_lock);
     return S.insert(H, V);
   }
 
@@ -74,14 +74,14 @@ public:
     size_t H = Hash()(V);
     const Stripe &S = stripeFor(H);
     obs::timedLock(S.M, lockWait());
-    std::lock_guard<std::mutex> Lock(S.M, std::adopt_lock);
+    MutexLock Lock(S.M, std::adopt_lock);
     return S.find(H, V) != SIZE_MAX;
   }
 
   size_t size() const {
     size_t N = 0;
     for (const Stripe &S : Stripes) {
-      std::lock_guard<std::mutex> Lock(S.M);
+      MutexLock Lock(S.M);
       N += S.Count;
     }
     return N;
@@ -89,7 +89,7 @@ public:
 
   void clear() {
     for (Stripe &S : Stripes) {
-      std::lock_guard<std::mutex> Lock(S.M);
+      MutexLock Lock(S.M);
       S.Slots.clear();
       S.Count = 0;
     }
@@ -105,12 +105,12 @@ private:
   };
 
   struct Stripe {
-    mutable std::mutex M;
-    std::vector<Slot> Slots;
-    size_t Count = 0;
+    mutable Mutex M;
+    std::vector<Slot> Slots NETUPD_GUARDED_BY(M);
+    size_t Count NETUPD_GUARDED_BY(M) = 0;
 
     /// Index of \p V in Slots, or SIZE_MAX. Caller holds M.
-    size_t find(size_t H, const T &V) const {
+    size_t find(size_t H, const T &V) const NETUPD_REQUIRES(M) {
       if (Slots.empty())
         return SIZE_MAX;
       size_t Mask = Slots.size() - 1;
@@ -123,7 +123,7 @@ private:
       }
     }
 
-    bool insert(size_t H, const T &V) {
+    bool insert(size_t H, const T &V) NETUPD_REQUIRES(M) {
       if (Slots.size() < 16 || Count * 10 >= Slots.size() * 7)
         grow();
       size_t Mask = Slots.size() - 1;
@@ -141,7 +141,7 @@ private:
       }
     }
 
-    void grow() {
+    void grow() NETUPD_REQUIRES(M) {
       size_t NewSize = Slots.empty() ? 16 : Slots.size() * 2;
       std::vector<Slot> Old = std::move(Slots);
       Slots.assign(NewSize, Slot{});
@@ -194,6 +194,7 @@ public:
   void reset(size_t NumBits) {
     destroy();
     Buckets = std::vector<std::atomic<Node *>>(NumBits);
+    // relaxed: reset is documented single-threaded; no concurrent readers.
     for (auto &B : Buckets)
       B.store(nullptr, std::memory_order_relaxed);
     Fallback.store(nullptr, std::memory_order_relaxed);
@@ -202,14 +203,19 @@ public:
 
   /// Adds a constraint. Thread-safe, lock-free, monotone.
   void add(Bitset Mask, Bitset Value) {
+    // lint: naked-new-ok — lock-free CAS push list; nodes are owned by the
+    // intrusive bucket chains and reclaimed in destroy().
     Node *N = new Node{std::move(Mask), std::move(Value), nullptr};
     size_t B = N->Value.firstSetBit();
     std::atomic<Node *> &Head =
         B < Buckets.size() ? Buckets[B] : Fallback;
+    // relaxed: the CAS loop re-reads Next on failure; only the successful
+    // release publish orders the node's payload for acquire readers.
     N->Next = Head.load(std::memory_order_relaxed);
     while (!Head.compare_exchange_weak(N->Next, N, std::memory_order_release,
                                        std::memory_order_relaxed)) {
     }
+    // relaxed: Count is an advisory size for reserve(); no ordering needed.
     Count.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -228,6 +234,7 @@ public:
     return listMatches(Fallback, Bits);
   }
 
+  // relaxed: advisory count; callers only use it to pre-size buffers.
   size_t size() const { return Count.load(std::memory_order_relaxed); }
   bool empty() const { return size() == 0; }
 
@@ -273,6 +280,8 @@ private:
   }
 
   void destroy() {
+    // relaxed: destruction is single-threaded by contract (all appenders
+    // and probers have joined before ~WatchedWrongSet / reset()).
     auto Free = [](std::atomic<Node *> &Head) {
       Node *N = Head.load(std::memory_order_relaxed);
       while (N) {
@@ -280,7 +289,7 @@ private:
         delete N;
         N = Next;
       }
-      Head.store(nullptr, std::memory_order_relaxed);
+      Head.store(nullptr, std::memory_order_relaxed); // relaxed: same contract
     };
     for (auto &B : Buckets)
       Free(B);
@@ -378,14 +387,14 @@ template <typename T> class SharedAppendList {
 public:
   void append(T V) {
     obs::timedLock(M, lockWait());
-    std::unique_lock<std::shared_mutex> Lock(M, std::adopt_lock);
+    SharedMutexLock Lock(M, std::adopt_lock);
     Items.push_back(std::move(V));
   }
 
   /// True if \p Pred holds for any element; scans under a shared lock.
   template <typename Fn> bool any(Fn &&Pred) const {
     obs::timedLockShared(M, lockWait());
-    std::shared_lock<std::shared_mutex> Lock(M, std::adopt_lock);
+    SharedReaderLock Lock(M, std::adopt_lock);
     for (const T &V : Items)
       if (Pred(V))
         return true;
@@ -393,14 +402,14 @@ public:
   }
 
   size_t size() const {
-    std::shared_lock<std::shared_mutex> Lock(M);
+    SharedReaderLock Lock(M);
     return Items.size();
   }
 
   /// A copy of the current contents; safe mid-flight (sees a monotone
   /// prefix of the appends).
   std::vector<T> snapshot() const {
-    std::shared_lock<std::shared_mutex> Lock(M);
+    SharedReaderLock Lock(M);
     return Items;
   }
 
@@ -411,8 +420,8 @@ private:
     return H;
   }
 
-  mutable std::shared_mutex M;
-  std::vector<T> Items;
+  mutable SharedMutex M;
+  std::vector<T> Items NETUPD_GUARDED_BY(M);
 };
 
 } // namespace netupd

@@ -29,10 +29,10 @@
 #define NETUPD_SUPPORT_SHARDEDCACHE_H
 
 #include "support/Digest.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cassert>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -65,14 +65,16 @@ public:
   /// next eviction sweep.
   std::optional<V> lookup(const Digest &Key) {
     Shard &S = shardFor(Key);
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     auto It = S.Map.find(Key);
     if (It == S.Map.end()) {
+      // relaxed: statistics counter; cross-shard totals may be skewed
+      // mid-flight, which stats() readers accept.
       Misses.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     It->second.Referenced = true;
-    Hits.fetch_add(1, std::memory_order_relaxed);
+    Hits.fetch_add(1, std::memory_order_relaxed); // relaxed: statistics
     return It->second.Value;
   }
 
@@ -82,7 +84,7 @@ public:
   /// construction).
   void store(const Digest &Key, V Value) {
     Shard &S = shardFor(Key);
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     // Insert first (one probe serves both the duplicate check and the
     // insertion).
     if (!S.Map.emplace(Key, Entry{std::move(Value), true}).second)
@@ -101,7 +103,7 @@ public:
   /// contributions.
   template <typename Fn> void update(const Digest &Key, Fn &&F) {
     Shard &S = shardFor(Key);
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     auto [It, Inserted] = S.Map.try_emplace(Key);
     It->second.Referenced = true;
     F(It->second.Value);
@@ -111,11 +113,12 @@ public:
 
   CacheStats stats() const {
     CacheStats Out;
+    // relaxed: statistics sample; counters may race in-flight operations.
     Out.Hits = Hits.load(std::memory_order_relaxed);
     Out.Misses = Misses.load(std::memory_order_relaxed);
     Out.Evictions = Evictions.load(std::memory_order_relaxed);
     for (const Shard &S : Shards) {
-      std::lock_guard<std::mutex> Lock(S.M);
+      MutexLock Lock(S.M);
       Out.Entries += S.Map.size();
     }
     return Out;
@@ -123,11 +126,12 @@ public:
 
   void clear() {
     for (Shard &S : Shards) {
-      std::lock_guard<std::mutex> Lock(S.M);
+      MutexLock Lock(S.M);
       S.Map.clear();
       S.Ring.clear();
       S.Hand = 0;
     }
+    // relaxed: statistics reset; racing counts land on either side.
     Hits.store(0, std::memory_order_relaxed);
     Misses.store(0, std::memory_order_relaxed);
     Evictions.store(0, std::memory_order_relaxed);
@@ -142,12 +146,12 @@ private:
     bool Referenced = true;
   };
   struct Shard {
-    mutable std::mutex M;
-    std::unordered_map<Digest, Entry, DigestHash> Map;
+    mutable Mutex M;
+    std::unordered_map<Digest, Entry, DigestHash> Map NETUPD_GUARDED_BY(M);
     /// Insertion ring for the clock hand; always lists exactly the
     /// shard's keys (an evicted key's slot is reused by its successor).
-    std::vector<Digest> Ring;
-    size_t Hand = 0;
+    std::vector<Digest> Ring NETUPD_GUARDED_BY(M);
+    size_t Hand NETUPD_GUARDED_BY(M) = 0;
   };
   Shard &shardFor(const Digest &Key) {
     return Shards[DigestHash()(Key) % NumShards];
@@ -156,7 +160,7 @@ private:
   /// Ring/eviction bookkeeping for a key just inserted into \p S's map
   /// (shared by store() and update()). The new key is not in the ring
   /// yet, so the sweep cannot displace it.
-  void admitNewKey(Shard &S, const Digest &Key) {
+  void admitNewKey(Shard &S, const Digest &Key) NETUPD_REQUIRES(S.M) {
     if (S.Map.size() > ShardCap) {
       size_t Slot = evictOne(S);
       S.Ring[Slot] = Key;
@@ -169,7 +173,7 @@ private:
   /// entry is found, erases it, and returns its ring slot for reuse.
   /// Terminates within two passes — the first pass clears every bit in
   /// the worst case, so the second pass's first probe must evict.
-  size_t evictOne(Shard &S) {
+  size_t evictOne(Shard &S) NETUPD_REQUIRES(S.M) {
     for (;;) {
       if (S.Hand >= S.Ring.size())
         S.Hand = 0;
@@ -181,7 +185,7 @@ private:
         continue;
       }
       S.Map.erase(It);
-      Evictions.fetch_add(1, std::memory_order_relaxed);
+      Evictions.fetch_add(1, std::memory_order_relaxed); // relaxed: stats
       size_t Slot = S.Hand;
       ++S.Hand; // Advance past the victim, as the clock algorithm does.
       return Slot;

@@ -66,7 +66,7 @@ void EarlyTermination::addCexConstraint(
     const std::vector<unsigned> &Updated,
     const std::vector<unsigned> &NotUpdated) {
   obs::timedLock(M, satLockWait());
-  std::lock_guard<std::mutex> Lock(M, std::adopt_lock);
+  MutexLock Lock(M, std::adopt_lock);
   if (KnownImpossible)
     return;
   // A cancelled search learns nothing: skip the (cubic) transitivity
@@ -117,7 +117,7 @@ void EarlyTermination::addMaskValueConstraint(const Bitset &Mask,
 
 bool EarlyTermination::impossible() {
   obs::timedLock(M, satLockWait());
-  std::lock_guard<std::mutex> Lock(M, std::adopt_lock);
+  MutexLock Lock(M, std::adopt_lock);
   if (KnownImpossible)
     return true;
   if (!Dirty)

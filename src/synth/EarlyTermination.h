@@ -28,8 +28,9 @@
 /// unbounded-cost step — which blocks concurrent learners for the
 /// duration; the search batches its impossible() checks (one per
 /// EtCheckInterval failures per shard) precisely to keep that
-/// serialization off the hot path. setStopToken() is not synchronized
-/// and must happen before the shards start.
+/// serialization off the hot path. setStopToken() takes the same mutex,
+/// so installing a token mid-flight (the seed-import path does this
+/// between search phases) is safe too.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,9 +40,9 @@
 #include "engine/StopToken.h"
 #include "sat/Solver.h"
 #include "support/Bitset.h"
+#include "support/ThreadAnnotations.h"
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 namespace netupd {
@@ -87,35 +88,41 @@ public:
   bool impossible();
 
   /// Installs the cancellation token polled by impossible() and
-  /// addCexConstraint(); an empty token (the default) never stops. Not
-  /// synchronized: call before any concurrent use.
-  void setStopToken(StopToken Token) { Stop = std::move(Token); }
+  /// addCexConstraint(); an empty token (the default) never stops.
+  /// Serialized on the same mutex as the learners, so it is safe at any
+  /// point — the previous "call before any concurrent use" contract was
+  /// an unguarded write racing the locked readers.
+  void setStopToken(StopToken Token) {
+    MutexLock Lock(M);
+    Stop = std::move(Token);
+  }
 
   uint64_t numClauses() const {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     return Clauses;
   }
 
 private:
   /// The literal meaning "operation A is updated before operation B".
-  sat::Lit before(unsigned A, unsigned B);
+  sat::Lit before(unsigned A, unsigned B) NETUPD_REQUIRES(M);
 
   /// Registers \p Op as mentioned, emitting transitivity clauses against
   /// previously mentioned operations while under the cap.
-  void mention(unsigned Op);
+  void mention(unsigned Op) NETUPD_REQUIRES(M);
 
   /// Serializes every member below; see the thread-safety note above.
-  mutable std::mutex M;
-  sat::Solver Solver;
-  StopToken Stop;
-  std::map<std::pair<unsigned, unsigned>, sat::Var> PairVars;
-  std::vector<unsigned> Mentioned;
+  mutable Mutex M;
+  sat::Solver Solver NETUPD_GUARDED_BY(M);
+  StopToken Stop NETUPD_GUARDED_BY(M);
+  std::map<std::pair<unsigned, unsigned>, sat::Var> PairVars
+      NETUPD_GUARDED_BY(M);
+  std::vector<unsigned> Mentioned NETUPD_GUARDED_BY(M);
   unsigned TransitivityCap;
   size_t MaxClauseLits;
-  uint64_t Clauses = 0;
-  bool KnownImpossible = false;
-  bool Dirty = false;     // New clauses since the last solve.
-  bool LastSat = true;    // Cached verdict.
+  uint64_t Clauses NETUPD_GUARDED_BY(M) = 0;
+  bool KnownImpossible NETUPD_GUARDED_BY(M) = false;
+  bool Dirty NETUPD_GUARDED_BY(M) = false;  // New clauses since last solve.
+  bool LastSat NETUPD_GUARDED_BY(M) = true; // Cached verdict.
 };
 
 } // namespace netupd

@@ -259,7 +259,7 @@ struct StealTask {
 class StealDeque {
 public:
   bool tryPush(StealTask &&T) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Q.size() >= Cap)
       return false;
     Q.push_back(std::move(T));
@@ -267,7 +267,7 @@ public:
   }
 
   bool tryPopBack(StealTask &T) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Q.empty())
       return false;
     T = std::move(Q.back());
@@ -276,7 +276,7 @@ public:
   }
 
   bool tryPopFront(StealTask &T) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Q.empty())
       return false;
     T = std::move(Q.front());
@@ -286,8 +286,8 @@ public:
 
 private:
   static constexpr size_t Cap = 128;
-  std::mutex M;
-  std::deque<StealTask> Q;
+  Mutex M;
+  std::deque<StealTask> Q NETUPD_GUARDED_BY(M);
 };
 
 /// Shard-shared state of one synthesis run; see the file comment.
@@ -410,10 +410,10 @@ struct SearchContext {
   /// wins and fires Found. Deterministic mode: the *lowest-indexed*
   /// successful unit wins — a pure function of the instance — and
   /// BestUnit lets shards abandon outranked units without a stop token.
-  std::mutex WinnerM;
-  bool HaveWinner = false;
-  size_t WinnerUnit = SIZE_MAX;
-  std::vector<unsigned> WinnerSeq;
+  Mutex WinnerM;
+  bool HaveWinner NETUPD_GUARDED_BY(WinnerM) = false;
+  size_t WinnerUnit NETUPD_GUARDED_BY(WinnerM) = SIZE_MAX;
+  std::vector<unsigned> WinnerSeq NETUPD_GUARDED_BY(WinnerM);
   std::atomic<size_t> BestUnit{SIZE_MAX};
 
   /// The next top-level work unit (an index into OpOrder) to explore.
@@ -436,16 +436,30 @@ struct SearchContext {
 
   void recordWinner(size_t Unit, const std::vector<unsigned> &Seq) {
     {
-      std::lock_guard<std::mutex> Lock(WinnerM);
+      MutexLock Lock(WinnerM);
       if (!HaveWinner || (Deterministic && Unit < WinnerUnit)) {
         HaveWinner = true;
         WinnerUnit = Unit;
         WinnerSeq = Seq;
+        // relaxed: an advisory bound shards use to abandon outranked
+        // units early; the authoritative winner lives under WinnerM.
         BestUnit.store(Unit, std::memory_order_relaxed);
       }
     }
     if (!Deterministic)
       Found.requestStop();
+  }
+
+  /// The winner slot under WinnerM, copied out in one critical section —
+  /// the runSearch tail uses this instead of reading HaveWinner /
+  /// WinnerSeq bare (safe only by the thread-join happens-before, which
+  /// the static analysis rightly refuses to assume).
+  bool winnerSnapshot(std::vector<unsigned> &SeqOut) {
+    MutexLock Lock(WinnerM);
+    if (!HaveWinner)
+      return false;
+    SeqOut = WinnerSeq;
+    return true;
   }
 };
 
@@ -542,6 +556,8 @@ public:
     for (;;) {
       if (AbortFlag)
         return; // Cause already recorded where the flag was set.
+      // relaxed: advisory early-out; the authoritative claim is the
+      // fetch_add below, and a stale read only costs one loop turn.
       if (Ctx.NextUnit.load(std::memory_order_relaxed) >=
           Ctx.OpOrder.size())
         break;  // Every unit claimed: nothing left here but stealing —
@@ -561,13 +577,17 @@ public:
         // The soft hint's only firing point: between units (and steal
         // tasks), so a unit that starts always runs to its
         // deterministic conclusion.
+        // relaxed: a cause flag read only after every shard joined.
         Ctx.WallAbort.store(true, std::memory_order_relaxed);
         Ctx.Halt.requestStop();
         return;
       }
+      // relaxed: the counter is the sole synchronization object here —
+      // unit payloads are immutable after buildOps().
       size_t Unit = Ctx.NextUnit.fetch_add(1, std::memory_order_relaxed);
       if (Unit >= Ctx.OpOrder.size())
         break; // Genuine exhaustion: every unit claimed.
+      // relaxed: advisory outranking bound (see recordWinner).
       if (Ctx.Deterministic &&
           Unit > Ctx.BestUnit.load(std::memory_order_relaxed))
         return; // A lower unit already won; everything from here on is
@@ -642,6 +662,7 @@ private:
     if (UnitET)
       Stats.SatClauses += UnitET->numClauses();
     if (UnitTruncated)
+      // relaxed: a tally read only after every shard joined.
       Ctx.ExhaustedUnits.fetch_add(1, std::memory_order_relaxed);
     // Unit-local entries are still instance facts; keep them for the
     // cross-job export instead of dropping them with the unit. (Budget
@@ -665,6 +686,7 @@ private:
       unsigned I = Ctx.OpOrder[CandIdx];
       if (Applied.test(I))
         continue;
+      // relaxed: advisory idle hint; a stale zero just skips one offer.
       if (Ctx.Stealing && AppliedSeq.size() <= Ctx.StealDepthLimit &&
           Ctx.IdleShards.load(std::memory_order_relaxed) > 0 &&
           offerSteal(I))
@@ -703,6 +725,7 @@ private:
         noteStop();
         return false;
       }
+      // relaxed: advisory outranking bound (see recordWinner).
       if (Ctx.BestUnit.load(std::memory_order_relaxed) < CurrentUnit) {
         // Outranked mid-unit by a lower winner; every unit this shard
         // could still pull is outranked too, so end the shard. No cause
@@ -822,6 +845,7 @@ private:
       EarlyTermination &ET = Ctx.Deterministic ? *UnitET : Ctx.ET;
       if (ET.impossible()) {
         Stats.EarlyTerminated = true;
+        // relaxed: a cause flag read only after every shard joined.
         Ctx.EtImpossible.store(true, std::memory_order_relaxed);
         Ctx.Halt.requestStop();
         AbortFlag = true;
@@ -921,6 +945,7 @@ private:
   /// (then nothing can be published anymore), a winner appears, or the
   /// shard aborts.
   void stealLoop() {
+    // relaxed: advisory idle count consumed by the offerSteal hint.
     Ctx.IdleShards.fetch_add(1, std::memory_order_relaxed);
     StealTask T;
     for (;;) {
@@ -931,6 +956,7 @@ private:
         break;
       }
       if (Ctx.softWallExpired()) {
+        // relaxed: a cause flag read only after every shard joined.
         Ctx.WallAbort.store(true, std::memory_order_relaxed);
         Ctx.Halt.requestStop();
         break;
@@ -948,6 +974,7 @@ private:
         break;
       std::this_thread::yield();
     }
+    // relaxed: advisory idle count (see fetch_add above).
     Ctx.IdleShards.fetch_sub(1, std::memory_order_relaxed);
   }
 
@@ -1019,6 +1046,7 @@ private:
       return;
     if (Ctx.Halt.token().stopRequested())
       return;
+    // relaxed: a cause flag read only after every shard joined.
     Ctx.ExternalAbort.store(true, std::memory_order_relaxed);
     Ctx.Halt.requestStop();
   }
@@ -1247,6 +1275,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
     // exists, proven before a single work unit ran. A reuse-off search
     // reaches the same verdict (by its own SAT proof or by exhaustion)
     // — the store only made it instant.
+    // relaxed: single-threaded here (before the shards spawn).
     Ctx.EtImpossible.store(true, std::memory_order_relaxed);
     SearchSeconds = Ctx.Clock.seconds();
     Finish(SynthStatus::Impossible);
@@ -1297,7 +1326,8 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
 
   // All shards joined: the winner slot and flags are stable now.
   SearchSeconds = Ctx.Clock.seconds();
-  if (!Ctx.HaveWinner) {
+  std::vector<unsigned> WinnerSeq;
+  if (!Ctx.winnerSnapshot(WinnerSeq)) {
     if (Ctx.EtImpossible.load())
       Finish(SynthStatus::Impossible); // SAT proof; outranks an abort.
     else if (Ctx.ExternalAbort.load() || Ctx.WallAbort.load() ||
@@ -1309,7 +1339,7 @@ SynthResult runSearch(const Topology &Topo, const Config &Initial,
     return Result;
   }
 
-  Result.Commands = buildCommands(Ctx, Ctx.WinnerSeq);
+  Result.Commands = buildCommands(Ctx, WinnerSeq);
   Total.WaitsBeforeRemoval = countWaits(Result.Commands);
   Total.WaitsAfterRemoval = Total.WaitsBeforeRemoval;
   if (Opts.WaitRemoval) {

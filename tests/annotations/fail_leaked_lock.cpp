@@ -1,0 +1,21 @@
+// Negative-compile snippet (cmake/AnnotationChecks.cmake): acquiring a
+// capability and returning without releasing it. Must FAIL under
+// clang -Wthread-safety -Werror, COMPILE on non-Clang.
+#include "support/ThreadAnnotations.h"
+
+using namespace netupd;
+
+struct Registry {
+  Mutex M;
+  int Entries NETUPD_GUARDED_BY(M) = 0;
+
+  int takeAndForget() {
+    M.lock();
+    return ++Entries; // -Wthread-safety: M still held at function exit.
+  }
+};
+
+int main() {
+  Registry R;
+  return R.takeAndForget();
+}

@@ -1,0 +1,23 @@
+// Negative-compile snippet (cmake/AnnotationChecks.cmake): calling a
+// REQUIRES method without the capability held. Must FAIL under
+// clang -Wthread-safety -Werror, COMPILE on non-Clang.
+#include "support/ThreadAnnotations.h"
+
+using namespace netupd;
+
+struct Table {
+  Mutex M;
+  int Size NETUPD_GUARDED_BY(M) = 0;
+
+  void growLocked() NETUPD_REQUIRES(M) { ++Size; }
+
+  void grow() {
+    growLocked(); // -Wthread-safety: requires M, which is not held.
+  }
+};
+
+int main() {
+  Table T;
+  T.grow();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Negative-compile snippet (cmake/AnnotationChecks.cmake): reading a
+// GUARDED_BY field without holding its mutex. Must FAIL under
+// clang -Wthread-safety -Werror, and COMPILE cleanly on non-Clang
+// (where the annotations are no-ops).
+#include "support/ThreadAnnotations.h"
+
+using namespace netupd;
+
+struct Stats {
+  Mutex M;
+  int Count NETUPD_GUARDED_BY(M) = 0;
+};
+
+int readBare(Stats &S) {
+  return S.Count; // -Wthread-safety: reading Count requires holding S.M.
+}
+
+int main() {
+  Stats S;
+  return readBare(S);
+}

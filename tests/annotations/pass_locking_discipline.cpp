@@ -1,0 +1,68 @@
+// Positive snippet (cmake/AnnotationChecks.cmake): the repo's locking
+// idioms in miniature — scoped locks, adopt-lock transfer, REQUIRES
+// helpers, shared readers, CondVar waits. Must COMPILE under every
+// compiler, including clang -Wthread-safety -Werror: if this breaks,
+// the wrappers' annotations are wrong, not the user code.
+#include "support/ThreadAnnotations.h"
+
+#include <mutex>
+
+using namespace netupd;
+
+struct Store {
+  Mutex M;
+  CondVar CV;
+  int Count NETUPD_GUARDED_BY(M) = 0;
+  bool Ready NETUPD_GUARDED_BY(M) = false;
+
+  SharedMutex SM;
+  int Shared NETUPD_GUARDED_BY(SM) = 0;
+
+  void bumpLocked() NETUPD_REQUIRES(M) { ++Count; }
+
+  void bump() {
+    MutexLock Lock(M);
+    bumpLocked();
+  }
+
+  void adoptPattern() {
+    M.lock(); // Stands in for obs::timedLock's ACQUIRE interface.
+    MutexLock Lock(M, std::adopt_lock);
+    ++Count;
+  }
+
+  void waitReady() {
+    MutexLock Lock(M);
+    while (!Ready)
+      CV.wait(M); // Capability held across the wait.
+    ++Count;
+  }
+
+  void publish() {
+    {
+      MutexLock Lock(M);
+      Ready = true;
+    }
+    CV.notify_all();
+  }
+
+  int readShared() {
+    SharedReaderLock Lock(SM);
+    return Shared;
+  }
+
+  void writeShared(int V) {
+    SharedMutexLock Lock(SM);
+    Shared = V;
+  }
+};
+
+int main() {
+  Store S;
+  S.bump();
+  S.adoptPattern();
+  S.publish();
+  S.waitReady();
+  S.writeShared(3);
+  return S.readShared();
+}

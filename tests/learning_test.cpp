@@ -28,8 +28,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/Engine.h"
+#include "engine/StopToken.h"
 #include "mc/BackendFactory.h"
 #include "support/ConstraintStore.h"
+#include "synth/EarlyTermination.h"
 #include "synth/OrderUpdate.h"
 #include "topo/Generators.h"
 
@@ -37,9 +39,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace netupd;
 using namespace netupd::testutil;
@@ -372,4 +377,55 @@ TEST(LearningEngineTest, KnobControlsTheStoreLifetime) {
   Pooled.Learning = ConstraintStore::processStore();
   SynthEngine Shared(Pooled);
   EXPECT_EQ(Shared.constraintStore(), ConstraintStore::processStore());
+}
+
+// --- setStopToken mid-flight (regression) -----------------------------------
+
+// setStopToken used to be an unguarded write with a "call before any
+// concurrent use" contract — which the seed-import path in the sharded
+// search quietly violated by installing the per-unit token between
+// search phases, racing the locked readers inside addCexConstraint()
+// and impossible(). It now serializes on the learner mutex. The first
+// half pins the semantics (a fired token installed mid-flight stops
+// both learning and solving); the second half hammers installs against
+// concurrent learners so the TSan lane would catch the old race.
+TEST(EarlyTerminationStopTest, MidFlightInstallIsHonored) {
+  EarlyTermination ET;
+  ET.addCexConstraint({0}, {1}); // 1 before 0.
+  EXPECT_FALSE(ET.impossible());
+
+  StopSource Src;
+  Src.requestStop();
+  ET.setStopToken(Src.token());
+  ET.addCexConstraint({1}, {0}); // Dropped: cancelled searches learn nothing.
+  EXPECT_FALSE(ET.impossible()); // Solve skipped, cached verdict returned.
+
+  ET.setStopToken(StopToken()); // An empty token never stops.
+  ET.addCexConstraint({1}, {0}); // 0 before 1: now circular.
+  EXPECT_TRUE(ET.impossible());
+}
+
+TEST(EarlyTerminationStopTest, ConcurrentInstallAndLearnIsRaceFree) {
+  EarlyTermination ET;
+  std::atomic<bool> Done{false};
+  std::thread Installer([&] {
+    StopSource Src; // Never fired: learners must keep making progress.
+    for (int I = 0; I < 1000; ++I)
+      ET.setStopToken(I % 2 ? Src.token() : StopToken());
+    Done.store(true);
+  });
+  std::vector<std::thread> Learners;
+  for (unsigned T = 0; T < 4; ++T)
+    Learners.emplace_back([&ET, &Done, T] {
+      // Disjoint operation ranges per thread: the constraint set stays
+      // satisfiable, so every impossible() exercises a real solve path.
+      unsigned Base = T * 8;
+      while (!Done.load()) {
+        ET.addCexConstraint({Base}, {Base + 1});
+        EXPECT_FALSE(ET.impossible());
+      }
+    });
+  Installer.join();
+  for (auto &T : Learners)
+    T.join();
 }

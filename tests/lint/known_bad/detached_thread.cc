@@ -1,0 +1,12 @@
+// expect: thread-hygiene
+// A detached thread: nothing joins it, so it can outlive the engine and
+// touch freed state during shutdown. There is no allowlist tag for this
+// rule — restructure instead.
+#include <thread>
+
+namespace netupd {
+void fireAndForget() {
+  std::thread T([] {});
+  T.detach();
+}
+} // namespace netupd

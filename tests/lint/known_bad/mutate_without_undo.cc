@@ -1,0 +1,16 @@
+// expect: mutate-undo
+// applySwitchUpdate with no rollback in scope: the DFS shares one Kripke
+// structure per shard, so an unpaired mutation corrupts every sibling
+// branch explored after this call returns.
+namespace netupd {
+struct Kripke {
+  int applySwitchUpdate(unsigned U);
+  void undo(int Token);
+};
+
+bool probeOnly(Kripke &K, unsigned U) {
+  int Tok = K.applySwitchUpdate(U);
+  (void)Tok;
+  return true;
+}
+} // namespace netupd

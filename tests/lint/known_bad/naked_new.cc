@@ -1,0 +1,15 @@
+// expect: thread-hygiene
+// A naked `new` whose result is handed around raw: ownership is
+// invisible and the ASan lane will eventually find the leak or the
+// double-free. Use std::make_unique, or tag a deliberate site.
+namespace netupd {
+struct Node {
+  int V;
+};
+
+Node *makeNode(int V) {
+  Node *N = new Node();
+  N->V = V;
+  return N;
+}
+} // namespace netupd

@@ -1,0 +1,16 @@
+// expect: relaxed
+// The `// relaxed:` tag exists but a blank line separates it from the
+// access, so it does not cover the site: a tag's scope is the contiguous
+// block it heads, never code after the next paragraph break.
+#include <atomic>
+
+namespace netupd {
+struct Flags {
+  std::atomic<bool> Abort{false};
+
+  // relaxed: monotone flag, checked after join.
+  void raise() { Abort.store(true, std::memory_order_relaxed); }
+
+  bool aborted() const { return Abort.load(std::memory_order_relaxed); }
+};
+} // namespace netupd

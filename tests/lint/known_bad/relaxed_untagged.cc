@@ -1,0 +1,12 @@
+// expect: relaxed
+// A memory_order_relaxed access with no `// relaxed:` justification
+// anywhere in the preceding comment block.
+#include <atomic>
+
+namespace netupd {
+struct Flags {
+  std::atomic<bool> Abort{false};
+
+  bool aborted() const { return Abort.load(std::memory_order_relaxed); }
+};
+} // namespace netupd

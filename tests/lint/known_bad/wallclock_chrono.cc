@@ -1,0 +1,13 @@
+// expect: wallclock
+// A deterministic-path file (anything under src/ outside src/obs/ and
+// support/Timer.h) reading the wall clock directly: the budget must come
+// from the shared deadline, not a local clock, or shard count changes
+// the verdict.
+#include <chrono>
+
+namespace netupd {
+bool pastDeadline() {
+  auto Now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return Now > 0;
+}
+} // namespace netupd

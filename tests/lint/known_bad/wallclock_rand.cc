@@ -1,0 +1,10 @@
+// expect: wallclock
+// rand() on a search path: candidate order must be a pure function of
+// (job, budget), so any randomness source is a determinism bug.
+#include <cstdlib>
+
+namespace netupd {
+unsigned pickStartUnit(unsigned NumUnits) {
+  return static_cast<unsigned>(rand()) % NumUnits;
+}
+} // namespace netupd

@@ -1,0 +1,16 @@
+// Clean: rules match code, not prose — comments and string literals
+// mentioning std::chrono, rand(), detach(), or `new Thing` must not
+// fire (the linter strips comments and blanks string contents first).
+#include <string>
+
+namespace netupd {
+// Doc comment discussing why we avoid std::chrono::steady_clock and
+// rand() on search paths, and why no thread may detach().
+std::string advice() {
+  return "never call rand( or new Widget( on a search path";
+}
+
+/* Block comment: new Node() via CAS-push is the one sanctioned naked
+   allocation shape; srand(42) is banned outright. */
+int nothingSuspicious() { return 0; }
+} // namespace netupd

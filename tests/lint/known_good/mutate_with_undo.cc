@@ -1,0 +1,25 @@
+// Clean: both sanctioned rollback shapes — an undo() call in the same
+// scope, and an undo record pushed into the owning frame's container.
+#include <vector>
+
+namespace netupd {
+struct Kripke {
+  int applySwitchUpdate(unsigned U);
+  void undo(int Token);
+};
+
+bool probeAndRestore(Kripke &K, unsigned U) {
+  int Tok = K.applySwitchUpdate(U);
+  bool Ok = Tok >= 0;
+  K.undo(Tok);
+  return Ok;
+}
+
+struct DfsFrame {
+  std::vector<int> Undos;
+};
+
+void descend(Kripke &K, DfsFrame &F, unsigned U) {
+  F.Undos.push_back(K.applySwitchUpdate(U));
+}
+} // namespace netupd

@@ -1,0 +1,19 @@
+// Clean: every relaxed access is covered by a `// relaxed:` tag — same
+// line, immediately above, or heading the contiguous block it sits in.
+#include <atomic>
+
+namespace netupd {
+struct Flags {
+  std::atomic<bool> Abort{false};
+  std::atomic<unsigned> Tally{0};
+
+  // relaxed: monotone false->true flag; readers only act on it after
+  // every shard has joined, so the join edge orders the payload.
+  void raise() { Abort.store(true, std::memory_order_relaxed); }
+  bool aborted() const { return Abort.load(std::memory_order_relaxed); }
+
+  void bump() {
+    Tally.fetch_add(1, std::memory_order_relaxed); // relaxed: statistics
+  }
+};
+} // namespace netupd

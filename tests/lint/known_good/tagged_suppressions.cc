@@ -1,0 +1,28 @@
+// Clean: the tag forms the linter accepts — a wallclock-ok line (say, a
+// soft-wall hint site), and a naked-new-ok on a lock-free intrusive node
+// whose ownership transfers through a CAS.
+#include <atomic>
+#include <chrono>
+
+namespace netupd {
+uint64_t softWallHintNs() {
+  // The soft-wall hint is advisory: it can only *shrink* work, never
+  // change a verdict, so a direct clock read is sanctioned here.
+  auto Now = std::chrono::steady_clock::now(); // lint: wallclock-ok
+  return static_cast<uint64_t>(Now.time_since_epoch().count());
+}
+
+struct Node {
+  Node *Next = nullptr;
+};
+
+void push(std::atomic<Node *> &Head) {
+  // lint: naked-new-ok — intrusive CAS-push node; the list owns it and
+  // destroy() walks and deletes the chain.
+  Node *N = new Node();
+  Node *Expected = Head.load();
+  do {
+    N->Next = Expected;
+  } while (!Head.compare_exchange_weak(Expected, N));
+}
+} // namespace netupd
