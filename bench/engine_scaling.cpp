@@ -20,7 +20,14 @@
 /// "memo:" cache (individual queries). A fourth section measures
 /// *intra-job* shard scaling on deep exhaustive proofs: one engine
 /// worker, the DFS prefix-split across 1/2/4 shards
-/// (EngineOptions::IntraJobShards), verdicts asserted stable. A sixth
+/// (EngineOptions::IntraJobShards), verdicts asserted stable. A fifth
+/// section measures the conflict-driven search layer on a batch that
+/// revisits each of those deep proofs four times with the constraint
+/// store enabled: the default knob set (clause minimization + activity
+/// ordering + Luby restarts + proof-based shedding of the repeats)
+/// against all three knobs disabled (repeats re-search, seeded by the
+/// store), verdicts asserted identical and the checker-query reduction
+/// recorded for the trend gate (target: >= 25% fewer queries). A sixth
 /// section measures cross-job learning (EngineOptions::SharedLearning):
 /// an autotuning-style probe stream over one scenario family, run with
 /// the constraint store off and on — verdicts must be byte-identical
@@ -43,8 +50,10 @@
 ///  - each major section gets one extra *profiled* pass (detail tier
 ///    on, same workload, verdicts asserted unchanged) whose merged
 ///    SynthStats yield a phase breakdown — checking vs mutate/rollback
-///    vs pruning vs SAT, in summed thread-seconds — written to the
-///    "phases" array;
+///    vs pruning vs SAT. The raw clocks are per-shard thread-seconds
+///    and sum across shards, so the "phases" array reports the honest
+///    total (cpu_s) plus each phase's scale-free share of it, which is
+///    what the trend gate compares;
 ///  - an "obs" section runs the 1-shard deep-proof workload in three
 ///    modes (off / metrics / trace) back to back, reporting the
 ///    overhead of each tier on jobs/sec and asserting that verdicts
@@ -210,13 +219,26 @@ struct BudgetPoint {
 };
 
 /// One profiled (detail-tier-on) pass: the phase breakdown of a section
-/// workload in summed thread-seconds, from the merged winning-member
-/// SynthStats. Param is the section's knob (workers or shards).
+/// workload, from the merged winning-member SynthStats. The raw phase
+/// clocks are per-shard thread-seconds and SUM across shards, so the
+/// JSON reports the honest total (cpu_s) plus each phase's scale-free
+/// share of it — comparing raw per-phase thread-seconds across runs
+/// conflated parallelism with work whenever the shard or worker count
+/// behind a point changed. Param is the section's knob (workers or
+/// shards).
 struct PhasePoint {
   const char *Section = "";
   unsigned Param = 0;
   double WallSeconds = 0.0;
   double CheckS = 0.0, MutateS = 0.0, PruneS = 0.0, SatS = 0.0;
+
+  /// Summed thread-seconds across every shard and every phase.
+  double cpuS() const { return CheckS + MutateS + PruneS + SatS; }
+  /// One phase's fraction of cpuS() (0 when nothing was profiled).
+  double share(double PhaseS) const {
+    double C = cpuS();
+    return C > 0 ? PhaseS / C : 0.0;
+  }
 };
 
 /// One observability-mode measurement: the deep-proof workload with the
@@ -237,6 +259,21 @@ struct LearnPoint {
   double JobsPerSec = 0.0;
   uint64_t TotalQueries = 0;
   uint64_t Imported = 0, Exported = 0, SeededPrunes = 0;
+  unsigned Succeeded = 0;
+};
+
+/// One conflict-learning measurement for the JSON report: a batch that
+/// repeats each deep exhaustive proof with the conflict-driven knobs
+/// (clause minimization, activity ordering, Luby restarts) all on vs
+/// all off. Knobs-on sheds the repeats from the stored UNSAT proof;
+/// knobs-off re-searches them.
+struct ConflictPoint {
+  const char *Mode = "";
+  double WallSeconds = 0.0;
+  double JobsPerSec = 0.0;
+  uint64_t TotalQueries = 0;
+  uint64_t ClausesMinimized = 0, LiteralsDropped = 0;
+  uint64_t Restarts = 0, SubsumedDropped = 0, ShedMembers = 0;
   unsigned Succeeded = 0;
 };
 
@@ -285,6 +322,7 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
                const std::vector<ShardPoint> &ShardRuns,
                const std::vector<BudgetPoint> &BudgetRuns,
                size_t LearnJobs, const std::vector<LearnPoint> &LearnRuns,
+               const std::vector<ConflictPoint> &ConflictRuns,
                const std::vector<PhasePoint> &Phases,
                const std::vector<ObsPoint> &ObsRuns,
                const std::vector<ZooScalePoint> &ZooRuns) {
@@ -309,6 +347,8 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
   std::fprintf(F, "  \"phases_scale\": %g,\n", ShardScale);
   std::fprintf(F, "  \"obs_scale\": %g,\n", ShardScale);
   std::fprintf(F, "  \"learning_scale\": %g,\n", Scale);
+  // The conflict section reruns the (floored) deep-proof workload.
+  std::fprintf(F, "  \"conflict_scale\": %g,\n", ShardScale);
   std::fprintf(F, "  \"sweep_jobs\": %zu,\n  \"sweep\": [\n", SweepJobs);
   for (size_t I = 0; I != Sweep.size(); ++I) {
     const SweepPoint &P = Sweep[I];
@@ -381,11 +421,12 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
     const PhasePoint &P = Phases[I];
     std::fprintf(F,
                  "    {\"section\": \"%s\", \"param\": %u, "
-                 "\"wall_seconds\": %.6f, \"check_s\": %.6f, "
-                 "\"mutate_s\": %.6f, \"prune_s\": %.6f, "
-                 "\"sat_s\": %.6f}%s\n",
-                 P.Section, P.Param, P.WallSeconds, P.CheckS, P.MutateS,
-                 P.PruneS, P.SatS, I + 1 == Phases.size() ? "" : ",");
+                 "\"wall_seconds\": %.6f, \"cpu_s\": %.6f, "
+                 "\"check_share\": %.4f, \"mutate_share\": %.4f, "
+                 "\"prune_share\": %.4f, \"sat_share\": %.4f}%s\n",
+                 P.Section, P.Param, P.WallSeconds, P.cpuS(),
+                 P.share(P.CheckS), P.share(P.MutateS), P.share(P.PruneS),
+                 P.share(P.SatS), I + 1 == Phases.size() ? "" : ",");
   }
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"obs\": [\n");
@@ -414,6 +455,26 @@ void writeJson(double Scale, double SweepScale, double ShardScale,
         static_cast<unsigned long long>(P.Exported),
         static_cast<unsigned long long>(P.SeededPrunes), P.Succeeded,
         I + 1 == LearnRuns.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"conflict\": [\n");
+  for (size_t I = 0; I != ConflictRuns.size(); ++I) {
+    const ConflictPoint &P = ConflictRuns[I];
+    std::fprintf(
+        F,
+        "    {\"mode\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"jobs_per_sec\": %.3f, \"total_queries\": %llu, "
+        "\"clauses_minimized\": %llu, \"literals_dropped\": %llu, "
+        "\"restarts\": %llu, \"subsumed_dropped\": %llu, "
+        "\"shed_members\": %llu, \"succeeded\": %u}%s\n",
+        P.Mode, P.WallSeconds, P.JobsPerSec,
+        static_cast<unsigned long long>(P.TotalQueries),
+        static_cast<unsigned long long>(P.ClausesMinimized),
+        static_cast<unsigned long long>(P.LiteralsDropped),
+        static_cast<unsigned long long>(P.Restarts),
+        static_cast<unsigned long long>(P.SubsumedDropped),
+        static_cast<unsigned long long>(P.ShedMembers), P.Succeeded,
+        I + 1 == ConflictRuns.size() ? "" : ",");
   }
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"zoo_scale\": %g,\n  \"zoo\": [\n", Scale);
@@ -960,6 +1021,98 @@ int main(int Argc, char **Argv) {
                       Rep.Merged.PruneSeconds, Rep.Merged.SatSeconds});
   }
 
+  banner("conflict-driven learning: knobs on vs off on exhaustive proofs");
+  // The deep Impossible proofs again, but as the workload the conflict
+  // layer is built for: a batch that revisits each instance (think
+  // autotuning probes or a portfolio re-race) with the cross-job
+  // constraint store enabled. With the knobs on, the first visit
+  // publishes minimized clauses plus its UNSAT proof, and every repeat
+  // is shed — answered from the proof without a single checker query.
+  // With the knobs off, the repeats re-search (the store still seeds
+  // refutations, so this is the strongest fair baseline, not a straw
+  // man). Verdicts must be byte-identical — shedding and the in-search
+  // knobs reorder and generalize, they never change an answer — and the
+  // query reduction lands in BENCH_engine.json so the trend gate can
+  // hold the >= 25% line fail-soft.
+  std::vector<ConflictPoint> ConflictRuns;
+  {
+    // Each deep proof appears Repeats times; copies share the scenario
+    // digest, so only the first can ever do real work under shedding.
+    constexpr unsigned Repeats = 4;
+    std::vector<SynthJob> CJobsBase;
+    for (const SynthJob &Job : ShardJobs) {
+      for (unsigned R = 0; R != Repeats; ++R) {
+        SynthJob Copy = Job;
+        Copy.Name = Job.Name + "#" + std::to_string(R);
+        CJobsBase.push_back(std::move(Copy));
+      }
+    }
+    std::vector<SynthStatus> ConflictBaseVerdicts;
+    for (const char *Mode : {"off", "on"}) {
+      bool On = std::string(Mode) == "on";
+      std::vector<SynthJob> CJobs = CJobsBase;
+      for (SynthJob &Job : CJobs) {
+        Job.Portfolio[0].Opts.ClauseMinimization = On;
+        Job.Portfolio[0].Opts.ActivityOrdering = On;
+        Job.Portfolio[0].Opts.Restarts = On;
+      }
+      EngineOptions EO;
+      EO.NumWorkers = 1;
+      EO.CacheResults = false; // The result cache would replay the
+                               // repeats outright and hide the layer
+                               // under test.
+      EO.SharedLearning = true;
+      EO.IntraJobShards = 1;
+      SynthEngine Engine(EO);
+      BatchReport Rep = Engine.run(CJobs);
+
+      std::vector<SynthStatus> Verdicts;
+      for (const SynthReport &R : Rep.Reports)
+        Verdicts.push_back(R.Result.Status);
+      if (ConflictRuns.empty()) {
+        ConflictBaseVerdicts = std::move(Verdicts);
+      } else if (Verdicts != ConflictBaseVerdicts) {
+        std::printf("ERROR: conflict mode '%s' changed a verdict\n", Mode);
+        return 1;
+      }
+
+      ConflictPoint P;
+      P.Mode = Mode;
+      P.WallSeconds = Rep.WallSeconds;
+      P.JobsPerSec =
+          Rep.WallSeconds > 0
+              ? static_cast<double>(CJobs.size()) / Rep.WallSeconds
+              : 0.0;
+      P.TotalQueries = Rep.TotalQueries;
+      P.ClausesMinimized = Rep.Merged.ClausesMinimized;
+      P.LiteralsDropped = Rep.Merged.LiteralsDropped;
+      P.Restarts = Rep.Merged.Restarts;
+      P.SubsumedDropped = Rep.Merged.SubsumedDropped;
+      P.ShedMembers = Rep.Merged.ShedMembers;
+      P.Succeeded = Rep.numSucceeded();
+      ConflictRuns.push_back(P);
+    }
+    row({"mode", "wall(s)", "queries", "minimized", "dropped", "restarts",
+         "shed"},
+        {9, 10, 10, 10, 9, 9, 6});
+    for (const ConflictPoint &P : ConflictRuns)
+      row({P.Mode, format("%.3f", P.WallSeconds),
+           std::to_string(P.TotalQueries),
+           std::to_string(P.ClausesMinimized),
+           std::to_string(P.LiteralsDropped), std::to_string(P.Restarts),
+           std::to_string(P.ShedMembers)},
+          {9, 10, 10, 10, 9, 9, 6});
+    double Reduction =
+        ConflictRuns[0].TotalQueries
+            ? 100.0 * (1.0 - static_cast<double>(
+                                 ConflictRuns[1].TotalQueries) /
+                                 static_cast<double>(
+                                     ConflictRuns[0].TotalQueries))
+            : 0.0;
+    std::printf("query reduction: %.1f%% (trend-gate target: >= 25%%)\n",
+                Reduction);
+  }
+
   banner("cross-job learning: repeated probes over one scenario family");
   // Autotuning-style probe stream: every scenario is probed under
   // several digest-DISTINCT configurations (backend x SAT-layer), so
@@ -1227,17 +1380,20 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  banner("phase profile: thread-seconds per search phase (detail tier)");
-  row({"section", "param", "wall(s)", "check", "mutate", "prune", "sat"},
-      {9, 7, 10, 9, 9, 9, 9});
+  banner("phase profile: cpu-seconds + per-phase share (detail tier)");
+  row({"section", "param", "wall(s)", "cpu(s)", "check", "mutate", "prune",
+       "sat"},
+      {9, 7, 10, 9, 7, 7, 7, 7});
   for (const PhasePoint &P : Phases)
     row({P.Section, std::to_string(P.Param), format("%.3f", P.WallSeconds),
-         format("%.3f", P.CheckS), format("%.3f", P.MutateS),
-         format("%.3f", P.PruneS), format("%.3f", P.SatS)},
-        {9, 7, 10, 9, 9, 9, 9});
+         format("%.3f", P.cpuS()), format("%.2f", P.share(P.CheckS)),
+         format("%.2f", P.share(P.MutateS)),
+         format("%.2f", P.share(P.PruneS)), format("%.2f", P.share(P.SatS))},
+        {9, 7, 10, 9, 7, 7, 7, 7});
 
   writeJson(Scale, SweepScale, ShardScale, Cores, Jobs.size(), Sweep,
             CacheJobs.size(), CacheRuns, ShardRuns, BudgetRuns,
-            LearnJobs.size(), LearnRuns, Phases, ObsRuns, ZooRuns);
+            LearnJobs.size(), LearnRuns, ConflictRuns, Phases, ObsRuns,
+            ZooRuns);
   return 0;
 }

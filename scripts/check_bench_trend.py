@@ -6,15 +6,22 @@ previous successful CI run's artifact) and emits GitHub warning
 annotations for regressions beyond a threshold:
 
   - jobs/sec drops  > threshold in any section point (sweep, cache,
-    shards, budget, learning, obs, zoo),
+    shards, budget, learning, conflict, obs, zoo),
   - cache/memo hit-rate drops > threshold (relative) in the cache
     section,
   - total checker-query INCREASES > threshold in the learning "on" mode
     (fewer queries is the point of the constraint store),
+  - jobs/sec drops, checker-query INCREASES, or minimized-clause /
+    shed-member DROPS > threshold in the "conflict" section (the
+    conflict-driven knobs), plus a within-run check that the knobs-on
+    pass still cuts >= 25% of the knobs-off pass's checker queries,
   - p50/p95/p99 job-latency INCREASES > threshold in the sweep, shards,
     and budget sections (lower is better),
-  - per-phase thread-second INCREASES > threshold in the "phases"
-    section's profiled passes,
+  - per-phase cpu-second INCREASES or per-phase share INCREASES >
+    threshold in the "phases" section's profiled passes (cpu_s sums the
+    four instrumented phases across every shard; the *_share fields
+    normalize each phase against that sum, so the two runs compare like
+    with like even when shard counts differ),
   - shard-scaling speedup drops > threshold and checker-query INCREASES
     in the shards section (query-neutrality of the sharded search),
   - obs overhead_pct INCREASES > threshold in the metrics/trace tiers
@@ -167,6 +174,25 @@ def main():
     compare_section(base, cur, "learning", "mode",
                     [("jobs_per_sec", False),
                      ("total_queries", True)], t)
+    # Conflict-driven knobs: regressions against the baseline run, plus
+    # a within-run floor — knobs-on must keep cutting at least 25% of
+    # the knobs-off checker queries (the whole point of the layer).
+    # Fail-soft like everything else here.
+    compare_section(base, cur, "conflict", "mode",
+                    [("jobs_per_sec", False), ("total_queries", True),
+                     ("clauses_minimized", False),
+                     ("shed_members", False)], t)
+    conflict = index_by(cur.get("conflict", []), "mode")
+    c_off, c_on = conflict.get("off"), conflict.get("on")
+    if c_off and c_on and c_off.get("total_queries", 0) > 0:
+        reduction = 1.0 - (c_on.get("total_queries", 0)
+                           / c_off["total_queries"])
+        if reduction < 0.25:
+            warn(f"conflict knobs-on query reduction fell to "
+                 f"{reduction * 100:.1f}% (floor: 25%)")
+        else:
+            note(f"conflict knobs-on query reduction: "
+                 f"{reduction * 100:.1f}%")
     compare_section(base, cur, "zoo", "name",
                     [("jobs_per_sec", False),
                      ("total_queries", True)], t)
@@ -184,8 +210,9 @@ def main():
             if isinstance(p, dict) and "section" in p and "param" in p:
                 p["_phase_key"] = f"{p['section']}@{p['param']}"
     compare_section(base, cur, "phases", "_phase_key",
-                    [("check_s", True), ("mutate_s", True),
-                     ("prune_s", True), ("sat_s", True)], t)
+                    [("cpu_s", True), ("check_share", True),
+                     ("mutate_share", True), ("prune_share", True),
+                     ("sat_share", True)], t)
     note(f"comparison complete: {len(REGRESSIONS)} regression(s) beyond "
          f"{t * 100:.0f}%")
     if REGRESSIONS and os.environ.get("NETUPD_BENCH_TREND_ENFORCE") == "1":

@@ -195,6 +195,14 @@ Digest netupd::digestOf(const SynthJob &Job) {
     B.addBool(M.Opts.EarlyTermination);
     B.addBool(M.Opts.WaitRemoval);
     B.addBool(M.Opts.RuleGranularity);
+    // The conflict-driven knobs are semantic too: they change which
+    // sequence the DFS finds first (ordering, restarts) and which
+    // configurations a budgeted unit affords (minimized entries prune
+    // more per check), so jobs differing in them are not
+    // interchangeable.
+    B.addBool(M.Opts.ClauseMinimization);
+    B.addBool(M.Opts.ActivityOrdering);
+    B.addBool(M.Opts.Restarts);
     B.addU64(M.Opts.MaxCheckCalls);
     B.addU64(M.Opts.UnitCheckCalls);
   }
@@ -442,9 +450,45 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
   const Digest ScenDigest = Learn ? digestOf(Job.S) : Digest{};
 
   std::vector<MemberOutcome> Outcomes(Members.size());
+
+  // Learning-aware shedding: a member whose (scenario, granularity) key
+  // holds an up-front UNSAT proof in the constraint store is answered
+  // from the proof instead of raced. Gated so the fabricated outcome
+  // provably matches what a standalone run would return: Impossible is
+  // a ground fact of (scenario, granularity) — every complete search
+  // reaches it regardless of knobs or backend — so only members that
+  // might not *complete* (a check budget could report Aborted, a soft
+  // wall could interrupt) or might not run at all (unknown backend, a
+  // private store this engine cannot speak for) are excluded. A member
+  // that switched conflict-driven learning off (ClauseMinimization
+  // false) opts out of proof *reuse* as well — its own runs still
+  // publish — so knob-off runs measure the full standalone search the
+  // knob comparison needs.
+  std::vector<uint8_t> Shed(Members.size(), 0);
+  if (Learn) {
+    for (size_t I = 0; I != Members.size(); ++I) {
+      const PortfolioMember &M = Members[I];
+      if (!M.Opts.ClauseMinimization || M.Opts.Learning ||
+          M.Opts.MaxCheckCalls > 0 || M.Opts.UnitCheckCalls > 0 ||
+          M.Opts.TimeoutSeconds > 0.0 ||
+          !BackendFactory::instance().known(M.Backend))
+        continue;
+      if (!Learn->knownImpossible(
+              ConstraintStore::keyFor(ScenDigest, M.Opts.RuleGranularity)))
+        continue;
+      Shed[I] = 1;
+      Outcomes[I].Name = memberDisplayName(M);
+      Outcomes[I].Status = SynthStatus::Impossible;
+      Outcomes[I].Stats.ShedMembers = 1;
+      Outcomes[I].Result.Status = SynthStatus::Impossible;
+      Outcomes[I].Result.Stats = Outcomes[I].Stats;
+    }
+  }
+
   if (Members.size() == 1) {
-    Outcomes[0] = runMember(Job.S, ScenDigest, Members[0], Stop,
-                            StopToken(), Opts.IntraJobShards, Learn);
+    if (!Shed[0])
+      Outcomes[0] = runMember(Job.S, ScenDigest, Members[0], Stop,
+                              StopToken(), Opts.IntraJobShards, Learn);
   } else {
     // Race: first Success fires the shared source; everyone also honours
     // the external (batch + per-job) token.
@@ -454,6 +498,8 @@ SynthReport SynthEngine::runOneJob(const SynthJob &Job, size_t Index,
     std::vector<std::thread> Threads;
     Threads.reserve(Members.size());
     for (size_t I = 0; I != Members.size(); ++I) {
+      if (Shed[I])
+        continue;
       Threads.emplace_back([&, I] {
         Outcomes[I] = runMember(Job.S, ScenDigest, Members[I], MemberStop,
                                 RaceStop, Opts.IntraJobShards, Learn);

@@ -36,12 +36,29 @@
 ///  - stealing is inert when off or unsharded (StolenTasks == 0);
 ///  - granularities relate: InitialViolation is granularity-independent,
 ///    and a switch-feasible instance is rule-feasible (the converse
-///    fails by design on double diamonds).
+///    fails by design on double diamonds);
+///  - the conflict-driven knobs (SynthOptions::ClauseMinimization /
+///    ActivityOrdering / Restarts) never change a verdict: the min-off
+///    cell must additionally reproduce the reference sequence byte for
+///    byte (minimization is sound resolution — it generalizes W
+///    entries without changing the refuted set or candidate order),
+///    act-off / rst-off cells are replay-checked (those knobs may
+///    legally reorder the search), and the all-off budgeted cells form
+///    their own (job, budget)-purity group across shard counts.
 ///
 /// Every eighth iteration instead drives a churn stream through the
 /// SynthEngine four ways (reference / result cache / learning / both)
 /// and requires byte-identical per-step results plus the pigeonhole
 /// cache-hit floor a repeating stream guarantees.
+///
+/// Every sixteenth iteration (offset so it never displaces a churn
+/// iteration) generates a LARGE instance — a 240..360-switch
+/// small-world fabric with long-path diamonds, diff-capped so the
+/// search lattice stays tractable — and runs the sequential unlimited
+/// cells only: reference vs min-off byte-compare per granularity, plus
+/// replay and the cross-granularity relations. This family stresses
+/// checker state-space scale, which the full matrix (sized for 100+
+/// cells per instance) deliberately avoids.
 ///
 /// Disagreements are delta-minimized (fuzz/Minimize.h) and serialized as
 /// repro files (fuzz/Repro.h).
@@ -91,6 +108,12 @@ struct FuzzOptions {
   /// Every Nth iteration runs an engine churn-stream check instead of a
   /// matrix instance; 0 disables churn iterations.
   unsigned ChurnEvery = 8;
+  /// Every Nth iteration runs a large sequential-only instance (hundreds
+  /// of switches; reference backend, unlimited sequential cells only)
+  /// instead of a matrix instance. Offset by half a period against the
+  /// churn cadence so the two families never claim the same iteration.
+  /// 0 disables large iterations.
+  unsigned LargeEvery = 16;
   /// Backends to cross-check; empty means the full registry.
   std::vector<std::string> Backends;
   /// Backends restricted to the two sequential unlimited cells (verdict
@@ -114,6 +137,7 @@ struct FuzzReport {
   unsigned Instances = 0;
   unsigned CellRuns = 0;
   unsigned ChurnStreams = 0;
+  unsigned LargeInstances = 0;
   /// Minimized disagreements, one per failing iteration.
   std::vector<Repro> Repros;
   /// Paths of repro files written (parallel to Repros when OutDir set).
@@ -136,6 +160,22 @@ std::optional<Disagreement>
 checkScenario(const Scenario &S, const std::vector<std::string> &Backends,
               const BudgetSpec &Budget, unsigned *CellRuns = nullptr,
               const std::vector<std::string> &Shallow = {});
+
+/// Deterministically generates a large sequential-only instance for
+/// iteration stream \p R: a 240..360-switch small-world fabric with
+/// long-path diamond flows, possibly mutated, diff-capped so the update
+/// lattice stays tractable while the checker state space does not.
+Scenario generateLargeInstance(Rng &R);
+
+/// Runs the large-family cells over \p S on the single reference
+/// backend \p Backend: per granularity, the unlimited sequential
+/// reference cell (replay-checked on Success) against a min-off cell
+/// that must match it byte for byte, plus the cross-granularity
+/// relations. Returns the first oracle violation, if any; \p CellRuns
+/// (optional) accumulates synthesis runs.
+std::optional<Disagreement>
+checkLargeScenario(const Scenario &S, const std::string &Backend,
+                   unsigned *CellRuns = nullptr);
 
 /// Builds a churn trace from \p R and replays it through the SynthEngine
 /// in four modes (reference / cache / learning / cache+learning),

@@ -83,13 +83,29 @@ public:
     return B.finish();
   }
 
+  /// True iff \p A refutes at least every configuration \p B refutes:
+  /// A's mask is a subset of B's and B's value agrees with A's on A's
+  /// mask. Then any C with C & B.mask == B.value also has
+  /// C & A.mask == A.value, so B is redundant. Strict-subset masks are
+  /// how clause minimization pays off across jobs: the minimized entry
+  /// evicts every fat ancestor it was carved from.
+  static bool subsumes(const Entry &A, const Entry &B) {
+    return B.first.contains(A.first) && (B.second & A.first) == A.second;
+  }
+
   /// Publishes the entries a retiring run learned, deduplicating against
-  /// what the key already holds. \p NumOps is the run's operation count
-  /// and guards indexing: entries of a different universe (a digest
-  /// collision, or a malformed caller) are rejected wholesale. Returns
-  /// the number of entries newly admitted.
+  /// what the key already holds and applying bidirectional subsumption:
+  /// an incoming entry dominated by a stored one (subset mask, agreeing
+  /// value) is dropped, and a stored entry dominated by an incoming one
+  /// is evicted — the store keeps only the frontier of strongest
+  /// refutations. \p NumOps is the run's operation count and guards
+  /// indexing: entries of a different universe (a digest collision, or a
+  /// malformed caller) are rejected wholesale. Returns the number of
+  /// entries newly admitted; \p SubsumedDropped (optional) accumulates
+  /// entries discarded in either direction (SynthStats::SubsumedDropped).
   size_t publish(const Digest &Key, size_t NumOps,
-                 const std::vector<Entry> &Learned) {
+                 const std::vector<Entry> &Learned,
+                 size_t *SubsumedDropped = nullptr) {
     if (NumOps == 0)
       return 0;
     // Validate outside any lock. The defensive re-checks of the
@@ -107,39 +123,98 @@ public:
     if (Valid.empty())
       return 0;
 
-    size_t Admitted = 0;
+    size_t Admitted = 0, Dropped = 0;
     Map.update(Key, [&](std::shared_ptr<const Snapshot> &Cur) {
       if (Cur && Cur->NumOps != NumOps)
         return; // Universe mismatch: keep the established one.
-      size_t Have = Cur ? Cur->Entries.size() : 0;
-      if (Have >= EntryCap)
-        return; // Full: nothing to admit.
-      // Find what is genuinely new before cloning: an all-duplicate
-      // publish (the common case once a scenario family has been
-      // probed) must not copy the entry list just to discard it.
-      std::unordered_set<Entry, EntryHash> Seen;
-      if (Cur)
-        Seen.insert(Cur->Entries.begin(), Cur->Entries.end());
-      std::vector<const Entry *> Fresh;
-      for (const Entry *E : Valid) {
-        if (Have + Fresh.size() >= EntryCap)
-          break;
-        if (Seen.insert(*E).second)
-          Fresh.push_back(E);
+      std::vector<Entry> Kept =
+          Cur ? Cur->Entries : std::vector<Entry>{};
+      std::unordered_set<Entry, EntryHash> Seen(Kept.begin(), Kept.end());
+      std::vector<Entry> Added;
+      bool Evicted = false;
+      for (const Entry *PE : Valid) {
+        const Entry &E = *PE;
+        if (!Seen.insert(E).second)
+          continue; // Exact duplicate.
+        bool Dominated = false;
+        for (const Entry &K : Kept)
+          if (subsumes(K, E)) {
+            Dominated = true;
+            break;
+          }
+        if (!Dominated)
+          for (const Entry &A : Added)
+            if (subsumes(A, E)) {
+              Dominated = true;
+              break;
+            }
+        if (Dominated) {
+          ++Dropped;
+          continue;
+        }
+        // Reverse direction: the incoming entry evicts everything it
+        // dominates (this is what frees space at the cap).
+        auto Evict = [&](std::vector<Entry> &L) {
+          size_t W = 0;
+          for (size_t I = 0; I != L.size(); ++I) {
+            if (subsumes(E, L[I])) {
+              ++Dropped;
+              Evicted = true;
+              continue;
+            }
+            if (W != I)
+              L[W] = std::move(L[I]);
+            ++W;
+          }
+          L.resize(W);
+        };
+        Evict(Kept);
+        Evict(Added);
+        if (Kept.size() + Added.size() >= EntryCap)
+          continue; // Full even after eviction.
+        Added.push_back(E);
       }
-      if (Fresh.empty())
+      if (Added.empty() && !Evicted)
         return;
       auto Next = std::make_shared<Snapshot>();
       Next->NumOps = NumOps;
-      if (Cur)
-        Next->Entries = Cur->Entries;
-      Next->Entries.reserve(Have + Fresh.size());
-      for (const Entry *E : Fresh)
-        Next->Entries.push_back(*E);
-      Admitted = Fresh.size();
+      Next->Impossible = Cur && Cur->Impossible;
+      Next->Entries = std::move(Kept);
+      Next->Entries.reserve(Next->Entries.size() + Added.size());
+      for (Entry &E : Added)
+        Next->Entries.push_back(std::move(E));
+      Admitted = Added.size();
       Cur = std::move(Next);
     });
+    if (SubsumedDropped)
+      *SubsumedDropped += Dropped;
     return Admitted;
+  }
+
+  /// Records an up-front UNSAT proof: the (scenario, granularity)
+  /// instance behind \p Key was proven Impossible (by exhaustion or SAT
+  /// proof in an unbudgeted, untimed run — a ground fact about the
+  /// instance). The engine's portfolio sheds members whose key holds
+  /// this flag instead of racing them (engine/Engine.cpp).
+  void markImpossible(const Digest &Key, size_t NumOps) {
+    if (NumOps == 0)
+      return;
+    Map.update(Key, [&](std::shared_ptr<const Snapshot> &Cur) {
+      if (Cur && (Cur->NumOps != NumOps || Cur->Impossible))
+        return;
+      auto Next = std::make_shared<Snapshot>();
+      Next->NumOps = NumOps;
+      Next->Impossible = true;
+      if (Cur)
+        Next->Entries = Cur->Entries;
+      Cur = std::move(Next);
+    });
+  }
+
+  /// True iff markImpossible() has been recorded for \p Key.
+  bool knownImpossible(const Digest &Key) {
+    std::optional<std::shared_ptr<const Snapshot>> Hit = Map.lookup(Key);
+    return Hit && *Hit && (*Hit)->Impossible;
   }
 
   /// A snapshot of the entries published for \p Key, or empty when the
@@ -169,6 +244,8 @@ private:
   /// fetched copies never observe a mutation.
   struct Snapshot {
     size_t NumOps = 0;
+    /// Up-front UNSAT proof for this key (see markImpossible()).
+    bool Impossible = false;
     std::vector<Entry> Entries;
   };
 

@@ -60,6 +60,14 @@ netupd::obs::Histogram &satLockWait() {
           "synth.sat_lock_ns");
   return H;
 }
+
+/// Luby restarts performed inside SAT solves, summed over every
+/// EarlyTermination instance in the process.
+netupd::obs::Counter &satRestarts() {
+  static netupd::obs::Counter &C =
+      netupd::obs::MetricsRegistry::instance().counter("synth.sat_restarts");
+  return C;
+}
 } // namespace
 
 void EarlyTermination::addCexConstraint(
@@ -125,6 +133,9 @@ bool EarlyTermination::impossible() {
   if (Stop.stopRequested())
     return !LastSat; // Stay Dirty: a resumed caller re-solves.
   Dirty = false;
+  uint64_t RestartsBefore = Solver.numRestarts();
   LastSat = Solver.solve();
+  if (uint64_t Delta = Solver.numRestarts() - RestartsBefore)
+    satRestarts().add(Delta);
   return !LastSat;
 }

@@ -169,9 +169,10 @@ TEST(DiffLiarTest, MinimizerShrinksWhileStillDisagreeing) {
 }
 
 /// A short in-process fuzz run over the fast backends stays clean. This
-/// drives generation, the whole cell matrix (sharded and stolen cells
-/// included), churn streams, and the engine — under TSan in CI it doubles
-/// as a race hunt over the entire stack.
+/// drives generation, the whole cell matrix (sharded, stolen, and
+/// conflict-knob cells included), churn streams, one large sequential
+/// instance, and the engine — under TSan in CI it doubles as a race
+/// hunt over the entire stack.
 TEST(DiffFuzzTest, ShortRunIsClean) {
   fuzz::FuzzOptions O;
   O.Seed = 99;
@@ -181,9 +182,10 @@ TEST(DiffFuzzTest, ShortRunIsClean) {
   std::ostringstream Log;
   fuzz::FuzzReport Rep = fuzz::runFuzz(O, Log);
   EXPECT_TRUE(Rep.clean()) << Log.str();
-  EXPECT_EQ(Rep.Instances + Rep.ChurnStreams, 10u);
+  EXPECT_EQ(Rep.Instances + Rep.ChurnStreams + Rep.LargeInstances, 10u);
   EXPECT_GT(Rep.CellRuns, 100u);
   EXPECT_EQ(Rep.ChurnStreams, 2u);
+  EXPECT_EQ(Rep.LargeInstances, 1u); // Iteration 8: (8 + 16/2) % 16 == 0.
 }
 
 /// Instance generation is a pure function of the seed: same seed, same

@@ -306,13 +306,28 @@ TEST(LearningInvarianceTest, BudgetedRunsStillExport) {
   EXPECT_GT(Probe.Stats.ExportedConstraints, 0u)
       << "a budgeted run dropped its learned constraints";
 
-  // And an unbudgeted follow-up run consumes them.
+  // And a follow-up run consumes them. The probe's Impossible verdict
+  // also marked the key (a budget-mode Impossible is still a complete
+  // proof — a truncated unit reports Aborted), so an unbudgeted,
+  // untimed follow-up would be shed outright; the soft wall hint makes
+  // this member non-sheddable and exercises the import path proper.
   RunResult Follow = runOnce(Inf, "incremental", 1, Store,
                              [](SynthOptions &O) {
                                O.EarlyTermination = false;
+                               O.TimeoutSeconds = 3600.0;
                              });
   EXPECT_EQ(Follow.Status, SynthStatus::Impossible);
   EXPECT_GT(Follow.Stats.ImportedConstraints, 0u);
+
+  // The sheddable shape of the same follow-up is answered from the
+  // up-front proof: same verdict, no checker work at all.
+  RunResult Shed = runOnce(Inf, "incremental", 1, Store,
+                           [](SynthOptions &O) {
+                             O.EarlyTermination = false;
+                           });
+  EXPECT_EQ(Shed.Status, SynthStatus::Impossible);
+  EXPECT_EQ(Shed.Stats.ShedMembers, 1u);
+  EXPECT_EQ(Shed.Stats.CheckCalls, 0u);
 }
 
 // --- Acceleration -----------------------------------------------------------
@@ -324,6 +339,13 @@ TEST(LearningInvarianceTest, BudgetedRunsStillExport) {
 TEST(LearningAccelerationTest, SecondProbeSkipsRefutedPrefixes) {
   Scenario Inf = doubleDiamond(9);
   auto NoEt = [](SynthOptions &O) { O.EarlyTermination = false; };
+  // Soft wall hint (never fires here): makes the follow-up members
+  // non-sheddable, so the test exercises the seeded-prune path rather
+  // than the up-front shed P1's Impossible mark would trigger.
+  auto NoEtTimed = [](SynthOptions &O) {
+    O.EarlyTermination = false;
+    O.TimeoutSeconds = 3600.0;
+  };
   auto Store = std::make_shared<ConstraintStore>();
 
   RunResult P1 = runOnce(Inf, "incremental", 1, Store, NoEt);
@@ -331,7 +353,7 @@ TEST(LearningAccelerationTest, SecondProbeSkipsRefutedPrefixes) {
   ASSERT_GT(P1.Stats.ExportedConstraints, 0u);
   ASSERT_GT(P1.Stats.CheckCalls, 1u);
 
-  RunResult P2 = runOnce(Inf, "batch", 1, Store, NoEt);
+  RunResult P2 = runOnce(Inf, "batch", 1, Store, NoEtTimed);
   EXPECT_EQ(P2.Status, SynthStatus::Impossible);
   EXPECT_GT(P2.Stats.ImportedConstraints, 0u);
   EXPECT_EQ(P2.Stats.CheckCalls, 1u)
@@ -343,6 +365,12 @@ TEST(LearningAccelerationTest, SecondProbeSkipsRefutedPrefixes) {
   RunResult Control = runOnce(Inf, "batch", 1, nullptr, NoEt);
   EXPECT_EQ(Control.Status, SynthStatus::Impossible);
   EXPECT_GT(Control.Stats.CheckCalls, P2.Stats.CheckCalls);
+
+  // The untimed shape doesn't even bind: P1's proof sheds it.
+  RunResult P3 = runOnce(Inf, "batch", 1, Store, NoEt);
+  EXPECT_EQ(P3.Status, SynthStatus::Impossible);
+  EXPECT_EQ(P3.Stats.ShedMembers, 1u);
+  EXPECT_EQ(P3.Stats.CheckCalls, 0u);
 }
 
 // With the SAT layer on, the imported constraints can prove the instance
@@ -355,7 +383,10 @@ TEST(LearningAccelerationTest, SeededSatLayerShortCircuits) {
   RunResult P1 = runOnce(Inf, "incremental", 1, Store);
   ASSERT_EQ(P1.Status, SynthStatus::Impossible);
 
-  RunResult P2 = runOnce(Inf, "batch", 1, Store);
+  // Timed (non-sheddable; the hint never fires) so the run actually
+  // consults the seeded SAT layer instead of being shed up front.
+  RunResult P2 = runOnce(Inf, "batch", 1, Store,
+                         [](SynthOptions &O) { O.TimeoutSeconds = 3600.0; });
   EXPECT_EQ(P2.Status, SynthStatus::Impossible);
   EXPECT_EQ(P2.Stats.CheckCalls, 1u);
   EXPECT_TRUE(P2.Stats.EarlyTerminated || P2.Stats.SeededPrunes > 0)
